@@ -1,0 +1,270 @@
+package repro_test
+
+// One benchmark per experiment of the paper's evaluation plan (DESIGN.md
+// E1-E9), plus micro-benchmarks of the core operations. The experiment
+// benchmarks run a full workload per iteration and report the headline
+// quantity of their table via b.ReportMetric; `go run ./cmd/tsbench`
+// prints the full tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// benchParams keeps a full sweep iteration to a few seconds.
+var benchParams = experiments.Params{
+	Ops: 5000, ValueSize: 32, Seed: 1, PageSize: 4096, SectorSize: 1024,
+}
+
+func runSweep(b *testing.B) *experiments.Sweep {
+	b.Helper()
+	s, err := experiments.RunSweep(benchParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkE1TotalSpace regenerates the E1 table (total space use vs
+// update fraction per splitting policy, §5 plan) and reports the
+// key-pref : WOBT total-space ratio at u=1.0.
+func BenchmarkE1TotalSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runSweep(b)
+		tsb := s.TSB["tsb-keypref"][1.0].Report.TotalBytes()
+		wobtStats := s.WOBT[1.0].WORM.Stats()
+		wobt := wobtStats.BytesBurned(benchParams.SectorSize)
+		if i == b.N-1 {
+			b.ReportMetric(float64(tsb)/1024, "tsb-keypref-KiB")
+			b.ReportMetric(float64(wobt)/1024, "wobt-KiB")
+			b.Logf("\n%s", s.E1TotalSpace())
+		}
+	}
+}
+
+// BenchmarkE2CurrentSpace regenerates the E2 table (current-database space
+// use) and reports magnetic KiB for the time-pref and key-pref extremes at
+// u=1.0.
+func BenchmarkE2CurrentSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runSweep(b)
+		if i == b.N-1 {
+			b.ReportMetric(float64(s.TSB["tsb-timepref"][1.0].Report.MagneticBytes)/1024, "timepref-KiB")
+			b.ReportMetric(float64(s.TSB["tsb-keypref"][1.0].Report.MagneticBytes)/1024, "keypref-KiB")
+			b.Logf("\n%s", s.E2CurrentSpace())
+		}
+	}
+}
+
+// BenchmarkE3Redundancy regenerates the E3 table (redundant copies per
+// distinct version).
+func BenchmarkE3Redundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runSweep(b)
+		if i == b.N-1 {
+			b.ReportMetric(s.TSB["tsb-now"][1.0].Report.RedundancyRatio(), "now-redundancy")
+			b.ReportMetric(s.TSB["tsb-lastupdate"][1.0].Report.RedundancyRatio(), "lastupdate-redundancy")
+			b.Logf("\n%s", s.E3Redundancy())
+		}
+	}
+}
+
+// BenchmarkE4CostFunction regenerates the E4 table (CS = SpaceM·CM +
+// SpaceO·CO across CO/CM ratios, §3.2).
+func BenchmarkE4CostFunction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runSweep(b)
+		if i == b.N-1 {
+			rep := s.TSB["tsb-lastupdate"][0.6].Report
+			b.ReportMetric(rep.Cost(1.0, 0.1)/1024, "CS-co0.1-KiB")
+			b.ReportMetric(rep.Cost(1.0, 1.0)/1024, "CS-co1.0-KiB")
+			b.Logf("\n%s", s.E4CostFunction(0.6))
+		}
+	}
+}
+
+// BenchmarkE5SearchIO regenerates the E5 table (device reads and simulated
+// latency per query kind per structure).
+func BenchmarkE5SearchIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, tab, err := experiments.E5SearchIO(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range results {
+				if r.Query == "get-current" {
+					b.ReportMetric(r.AvgReads, r.Structure+"-reads/get")
+				}
+			}
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// BenchmarkE6SectorUtilization regenerates the E6 table (WORM sector
+// utilization: consolidated appends vs one-record-per-sector writes, §1).
+func BenchmarkE6SectorUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runSweep(b)
+		if i == b.N-1 {
+			b.ReportMetric(s.TSB["tsb-timepref"][1.0].Report.SectorUtilization, "tsb-utilization")
+			b.ReportMetric(s.WOBT[1.0].WORM.Stats().Utilization(benchParams.SectorSize), "wobt-utilization")
+			b.Logf("\n%s", s.E6SectorUtilization())
+		}
+	}
+}
+
+// BenchmarkE7SplitTimeChoice regenerates the E7 table (split-time choice
+// ablation, §3.3).
+func BenchmarkE7SplitTimeChoice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runSweep(b)
+		if i == b.N-1 {
+			b.ReportMetric(float64(s.TSB["tsb-now"][1.0].Tree.Stats().VersionsMigrated), "now-migrated")
+			b.ReportMetric(float64(s.TSB["tsb-lastupdate"][1.0].Tree.Stats().VersionsMigrated), "lastupdate-migrated")
+			b.Logf("\n%s", s.E7SplitTimeChoice())
+		}
+	}
+}
+
+// BenchmarkE8IndexSplits regenerates the E8 table (index-node split
+// behaviour, §3.5).
+func BenchmarkE8IndexSplits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := runSweep(b)
+		if i == b.N-1 {
+			st := s.TSB["tsb-timepref"][0.8].Tree.Stats()
+			b.ReportMetric(float64(st.IndexTimeSplits), "idx-time-splits")
+			b.ReportMetric(float64(st.IndexKeySplits), "idx-key-splits")
+			b.Logf("\n%s", s.E8IndexSplits())
+		}
+	}
+}
+
+// BenchmarkE9ReadOnly regenerates the E9 table (lock-free read-only
+// transactions under concurrent updaters, §4.1).
+func BenchmarkE9ReadOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, tab, err := experiments.E9ReadOnly(4, 4, 100, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SnapshotLeaks != 0 {
+			b.Fatalf("snapshot leaks: %d", res.SnapshotLeaks)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Commits), "commits")
+			b.ReportMetric(float64(res.ReaderScans), "reader-scans")
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core TSB-tree operations ---
+
+func benchTree(b *testing.B, policy core.Policy, preload int, u float64) *core.Tree {
+	b.Helper()
+	mag := storage.NewMagneticDisk(4096, storage.CostModel{})
+	worm := storage.NewWORMDisk(storage.WORMConfig{SectorSize: 1024})
+	tree, err := core.New(mag, worm, core.Config{Policy: policy, MaxKeySize: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := record.Timestamp(0)
+	for i := 0; i < preload; i++ {
+		ts++
+		key := i
+		if u > 0 && i%2 == 0 {
+			key = i % int(float64(preload)*(1-u)+1)
+		}
+		err := tree.Insert(record.Version{
+			Key:   record.StringKey(fmt.Sprintf("key%08d", key)),
+			Time:  ts,
+			Value: []byte("benchmark-payload-0123456789abcdef"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tree
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tree := benchTree(b, core.PolicyLastUpdate, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := tree.Insert(record.Version{
+			Key:   record.StringKey(fmt.Sprintf("key%08d", i)),
+			Time:  record.Timestamp(i + 1),
+			Value: []byte("benchmark-payload-0123456789abcdef"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertUpdateHeavy(b *testing.B) {
+	tree := benchTree(b, core.PolicyLastUpdate, 1000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := tree.Insert(record.Version{
+			Key:   record.StringKey(fmt.Sprintf("key%08d", i%1000)),
+			Time:  record.Timestamp(1001 + i),
+			Value: []byte("benchmark-payload-0123456789abcdef"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetCurrent(b *testing.B) {
+	tree := benchTree(b, core.PolicyLastUpdate, 5000, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tree.Get(record.StringKey(fmt.Sprintf("key%08d", i%1000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetAsOf(b *testing.B) {
+	tree := benchTree(b, core.PolicyLastUpdate, 5000, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := tree.GetAsOf(
+			record.StringKey(fmt.Sprintf("key%08d", i%1000)),
+			record.Timestamp(1+i%5000))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotScan(b *testing.B) {
+	tree := benchTree(b, core.PolicyLastUpdate, 5000, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := tree.ScanAsOf(record.Timestamp(1+i%5000), nil, record.InfiniteBound())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistory(b *testing.B) {
+	tree := benchTree(b, core.PolicyLastUpdate, 5000, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.History(record.StringKey(fmt.Sprintf("key%08d", i%1000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Command figures replays the structural examples of the paper's Figures
+// 1-9 and prints the resulting nodes, so each drawing in Lomet & Salzberg
+// (SIGMOD 1989) can be compared with this implementation's behaviour.
+//
+// Usage:
+//
+//	figures [-fig N]    (default: all figures)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/storage"
+	"repro/internal/wobt"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to replay (0 = all)")
+	flag.Parse()
+	if err := run(os.Stdout, *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// run replays figure fig (0 = all) to w.
+func run(w io.Writer, fig int) error {
+	type replay struct {
+		n int
+		f func(io.Writer) error
+	}
+	replays := []replay{
+		{1, figure1}, {2, figure2}, {3, figure3}, {4, figure4},
+		{5, figure5}, {6, figure6}, {7, figure7}, {8, figure8}, {9, figure9},
+	}
+	for _, r := range replays {
+		if fig != 0 && fig != r.n {
+			continue
+		}
+		if err := r.f(w); err != nil {
+			return fmt.Errorf("figure %d: %w", r.n, err)
+		}
+	}
+	return nil
+}
+
+func header(w io.Writer, n int, title string) {
+	fmt.Fprintf(w, "\n===== Figure %d: %s =====\n", n, title)
+}
+
+func newWOBT(sectorSize, nodeSectors int) (*wobt.Tree, *storage.WORMDisk, error) {
+	worm := storage.NewWORMDisk(storage.WORMConfig{SectorSize: sectorSize})
+	t, err := wobt.New(worm, wobt.Config{NodeSectors: nodeSectors})
+	return t, worm, err
+}
+
+func newTSB(p core.Policy, leafCap int) (*core.Tree, error) {
+	mag := storage.NewMagneticDisk(4096, storage.CostModel{})
+	worm := storage.NewWORMDisk(storage.WORMConfig{SectorSize: 512})
+	return core.New(mag, worm, core.Config{
+		Policy: p, MaxKeySize: 4, MaxValueSize: 8,
+		LeafCapacity: leafCap, IndexCapacity: 560,
+	})
+}
+
+func ins(t interface {
+	Insert(record.Version) error
+}, key string, ts uint64, val string) error {
+	return t.Insert(record.Version{
+		Key: record.StringKey(key), Time: record.Timestamp(ts), Value: []byte(val),
+	})
+}
+
+// figure1 shows stepwise constant data: an account balance holds between
+// transactions.
+func figure1(w io.Writer) error {
+	header(w, 1, "stepwise constant data (account balance between transactions)")
+	tree, err := newTSB(core.PolicyLastUpdate, 4096)
+	if err != nil {
+		return err
+	}
+	for _, step := range []struct {
+		ts  uint64
+		bal string
+	}{{2, "50"}, {5, "100"}, {9, "70"}} {
+		if err := ins(tree, "acct", step.ts, step.bal); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "balance of 'acct' read at each time 1..10:")
+	for ts := uint64(1); ts <= 10; ts++ {
+		v, ok, err := tree.GetAsOf(record.StringKey("acct"), record.Timestamp(ts))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Fprintf(w, "  t=%-2d  (no account yet)\n", ts)
+			continue
+		}
+		fmt.Fprintf(w, "  t=%-2d  balance=%s (set at t=%s)\n", ts, v.Value, v.Time)
+	}
+	return nil
+}
+
+// figure2 shows a WOBT index node: entries in insertion order, the same
+// key occurring several times, the last occurrence the most recent.
+func figure2(w io.Writer) error {
+	header(w, 2, "WOBT index node: entries in insertion order, keys repeat")
+	tree, _, err := newWOBT(128, 4)
+	if err != nil {
+		return err
+	}
+	// Drive enough inserts/updates that the root index node accumulates
+	// repeated separator keys.
+	ts := uint64(0)
+	for i := 0; i < 6; i++ {
+		for _, k := range []string{"50", "100"} {
+			ts++
+			if err := ins(tree, k, ts, fmt.Sprintf("v%d", ts)); err != nil {
+				return err
+			}
+		}
+	}
+	dump, err := tree.DumpNode(tree.Root())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "root index node (insertion order):")
+	fmt.Fprintln(w, " ", dump)
+	fmt.Fprintln(w, "note: the same separator key occurs several times; a search takes the")
+	fmt.Fprintln(w, "last-listed entry with the largest key not exceeding the search key.")
+	return nil
+}
+
+// figure3 shows a WOBT data-node split by key value and current time.
+func figure3(w io.Writer) error {
+	header(w, 3, "WOBT split by key value and current time")
+	tree, _, err := newWOBT(256, 4)
+	if err != nil {
+		return err
+	}
+	for _, r := range []struct {
+		k  string
+		ts uint64
+		v  string
+	}{{"50", 1, "Joe"}, {"60", 2, "Pete"}, {"70", 3, "Mary"}, {"70", 4, "Sue"}} {
+		if err := ins(tree, r.k, r.ts, r.v); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "before: one full leaf [50 Joe | 60 Pete | 70 Mary | 70 Sue]")
+	fmt.Fprintln(w, "now insert 90 Alice ...")
+	if err := ins(tree, "90", 5, "Alice"); err != nil {
+		return err
+	}
+	dump, err := tree.Dump()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, dump)
+	fmt.Fprintln(w, "the old node remains in the database (a DAG); only the most recent")
+	fmt.Fprintln(w, "versions were copied into the two new nodes.")
+	return nil
+}
+
+// figure4 shows a WOBT pure time split.
+func figure4(w io.Writer) error {
+	header(w, 4, "WOBT pure time split (not enough current records for two nodes)")
+	tree, _, err := newWOBT(256, 4)
+	if err != nil {
+		return err
+	}
+	for _, r := range []struct {
+		k  string
+		ts uint64
+		v  string
+	}{{"60", 1, "Joe"}, {"60", 2, "Pete"}, {"60", 4, "Mary"}, {"90", 5, "Sue"}} {
+		if err := ins(tree, r.k, r.ts, r.v); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "before: one full leaf [60 Joe | 60 Pete | 60 Mary | 90 Sue]")
+	fmt.Fprintln(w, "now insert 90 Alice ...")
+	if err := ins(tree, "90", 6, "Alice"); err != nil {
+		return err
+	}
+	dump, err := tree.Dump()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, dump)
+	st := tree.Stats()
+	fmt.Fprintf(w, "splits: %d by time only, %d by key+time\n", st.TimeSplits, st.KeySplits)
+	return nil
+}
+
+// figure5 shows a TSB pure key split of an insert-only node.
+func figure5(w io.Writer) error {
+	header(w, 5, "TSB-tree data node split entirely by key (insert-only node)")
+	tree, err := newTSB(core.PolicyWOBTLike, 80)
+	if err != nil {
+		return err
+	}
+	seq := []struct {
+		k  string
+		ts uint64
+		v  string
+	}{{"50", 2, "Joe"}, {"90", 5, "Pete"}, {"97", 7, "Alice"}, {"93", 8, "Sue"}, {"60", 9, "Ron"}, {"80", 10, "Joan"}}
+	for _, r := range seq {
+		if err := ins(tree, r.k, r.ts, r.v); err != nil {
+			return err
+		}
+	}
+	dump, err := tree.Dump()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, dump)
+	fmt.Fprintln(w, "no node migrated; the new index entries carry the original timestamp")
+	fmt.Fprintln(w, "(start time 0), copied from the previous index entry.")
+	return nil
+}
+
+// figure6 shows the TSB time split with a chosen split time: T = last
+// update (no redundancy) vs T = now (the record alive at T is duplicated).
+func figure6(w io.Writer) error {
+	header(w, 6, "TSB-tree time split: choice of split time")
+	for _, choice := range []core.SplitTimeChoice{core.SplitAtLastUpdate, core.SplitAtNow} {
+		tree, err := newTSB(core.Policy{
+			KeySplitFraction: 0.5, SplitTime: choice, IndexKeySplitFraction: 0.5,
+		}, 60)
+		if err != nil {
+			return err
+		}
+		for _, r := range []struct {
+			k  string
+			ts uint64
+			v  string
+		}{{"60", 1, "Joe"}, {"60", 2, "Pete"}, {"60", 4, "Mary"}, {"90", 6, "Alice"}} {
+			if err := ins(tree, r.k, r.ts, r.v); err != nil {
+				return err
+			}
+		}
+		st := tree.Stats()
+		fmt.Fprintf(w, "\nsplit time choice = %v: migrated %d versions, redundant copies %d\n",
+			choice, st.VersionsMigrated, st.RedundantVersions)
+		dump, err := tree.Dump()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, dump)
+	}
+	fmt.Fprintln(w, "with T = last update (4), Mary is only in the current node;")
+	fmt.Fprintln(w, "with T = now, Mary persists across T and is in both nodes.")
+	return nil
+}
+
+func drive(tree *core.Tree, nKeys, updateEvery, maxOps int, stop func(core.Stats) bool) error {
+	ts := tree.Now()
+	for op := 0; op < maxOps; op++ {
+		ts++
+		key := fmt.Sprintf("k%03d", op%nKeys)
+		if updateEvery > 0 && op%updateEvery == 0 {
+			key = fmt.Sprintf("k%03d", (op*13)%nKeys)
+		}
+		if err := ins(tree, key, uint64(ts), fmt.Sprintf("v%d", ts)); err != nil {
+			return err
+		}
+		if stop(tree.Stats()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// figure7 drives the tree until an index keyspace split duplicates a
+// historical entry (rule 4) and reports it.
+func figure7(w io.Writer) error {
+	header(w, 7, "index keyspace split duplicating a historical reference (rule 4)")
+	tree, err := newTSB(core.Policy{
+		KeySplitFraction: 0.5, SplitTime: core.SplitAtNow, IndexKeySplitFraction: 0.0,
+	}, 80)
+	if err != nil {
+		return err
+	}
+	if err := drive(tree, 32, 2, 8000, func(s core.Stats) bool {
+		return s.IndexKeySplits > 0 && s.RedundantIndexEntries > 0
+	}); err != nil {
+		return err
+	}
+	st := tree.Stats()
+	fmt.Fprintf(w, "after %d inserts: %d index keyspace splits, %d duplicated historical\n",
+		st.Inserts, st.IndexKeySplits, st.RedundantIndexEntries)
+	fmt.Fprintln(w, "references (entries whose key range strictly contains the split value;")
+	fmt.Fprintln(w, "the duplicate is needed, like locating Pete in the paper's example).")
+	fmt.Fprintln(w, "Only historical nodes acquire more than one parent: the TSB-tree is a DAG.")
+	return nil
+}
+
+// figure8 shows a local index time split: one index node migrates.
+func figure8(w io.Writer) error {
+	header(w, 8, "local index node time split (only the index node migrates)")
+	tree, err := newTSB(core.Policy{
+		KeySplitFraction: 0.5, SplitTime: core.SplitAtNow, IndexKeySplitFraction: 1.0,
+	}, 80)
+	if err != nil {
+		return err
+	}
+	if err := drive(tree, 12, 1, 6000, func(s core.Stats) bool {
+		return s.IndexTimeSplits > 0
+	}); err != nil {
+		return err
+	}
+	st := tree.Stats()
+	fmt.Fprintf(w, "after %d inserts: %d local index time splits, %d historical index nodes\n",
+		st.Inserts, st.IndexTimeSplits, st.HistoricalNodes)
+	fmt.Fprintln(w, "(the migrated index node references only the historical database, so no")
+	fmt.Fprintln(w, "lower node had to be touched: the split is entirely local).")
+	return nil
+}
+
+// figure9 shows the pathology of a current node blocking an index time
+// split, its marking, and the forced resolution.
+func figure9(w io.Writer) error {
+	header(w, 9, "index node that cannot locally time split; blocker marked")
+	tree, err := newTSB(core.Policy{
+		KeySplitFraction: 0.5, SplitTime: core.SplitAtNow, IndexKeySplitFraction: 1.0,
+	}, 80)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 6; i++ {
+		if err := ins(tree, fmt.Sprintf("a%02d", i), uint64(i+1), "x"); err != nil {
+			return err
+		}
+	}
+	ts := uint64(100)
+	for op := 0; tree.Stats().MarkedLeaves == 0 && op < 6000; op++ {
+		ts++
+		if err := ins(tree, fmt.Sprintf("z%02d", op%8), ts, fmt.Sprintf("v%d", ts)); err != nil {
+			return err
+		}
+	}
+	st := tree.Stats()
+	fmt.Fprintf(w, "marked leaves: %d (a current data node created at the index node's own\n", st.MarkedLeaves)
+	fmt.Fprintln(w, "start time blocked the time split; the index node keyspace split instead")
+	fmt.Fprintln(w, "and the blocker was marked to be time split at the next opportunity).")
+	for i := 0; i < 6 && tree.Stats().ForcedTimeSplits == 0; i++ {
+		ts++
+		if err := ins(tree, fmt.Sprintf("a%02d", i), ts, "touch"); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "after touching the blocked region: %d forced time splits, %d still marked\n",
+		tree.Stats().ForcedTimeSplits, tree.MarkedLeafCount())
+	return nil
+}

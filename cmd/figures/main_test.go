@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for i := 1; i <= 9; i++ {
+		want := "===== Figure " + string(rune('0'+i))
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Spot-check the substance of a few figures.
+	for _, want := range []string{
+		"balance=100", // figure 1: stepwise constant
+		"90 Alice",    // figures 3/4: the paper's insert
+		"migrated 2 versions, redundant copies 0", // figure 6, T=last update
+		"migrated 3 versions, redundant copies 1", // figure 6, T=now
+		"forced time splits",                      // figure 9 resolution
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 6") {
+		t.Error("figure 6 missing")
+	}
+	if strings.Contains(out, "Figure 3") {
+		t.Error("unrequested figure present")
+	}
+}

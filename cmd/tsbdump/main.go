@@ -1,0 +1,77 @@
+// Command tsbdump builds a TSB-tree from a synthetic workload and dumps
+// its structure, statistics, and invariant-check result — a debugging and
+// inspection tool for the reproduction.
+//
+// Usage:
+//
+//	tsbdump [-policy NAME] [-ops N] [-u FRACTION] [-dump] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	policy := flag.String("policy", "tsb-lastupdate",
+		"splitting policy: "+strings.Join(experiments.PolicyNames, ", "))
+	ops := flag.Int("ops", 2000, "operations to apply")
+	u := flag.Float64("u", 0.5, "update fraction in [0,1]")
+	seed := flag.Int64("seed", 1, "workload seed")
+	dump := flag.Bool("dump", false, "print the full node-by-node tree dump")
+	flag.Parse()
+
+	if err := run(*policy, *ops, *u, *seed, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "tsbdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policy string, ops int, u float64, seed int64, dump bool) error {
+	p := experiments.Params{Ops: ops, Seed: seed}
+	res, err := experiments.RunTSB(policy, u, p)
+	if err != nil {
+		return err
+	}
+	st := res.Tree.Stats()
+	fmt.Printf("policy=%s ops=%d update-fraction=%.2f\n\n", policy, ops, u)
+	fmt.Printf("height:               %d\n", st.Height)
+	fmt.Printf("current nodes:        %d\n", st.CurrentNodes)
+	fmt.Printf("historical nodes:     %d\n", st.HistoricalNodes)
+	fmt.Printf("leaf splits:          %d time, %d key, %d time+key\n",
+		st.LeafTimeSplits, st.LeafKeySplits, st.LeafTimeKeySplits)
+	fmt.Printf("index splits:         %d time (local), %d keyspace\n",
+		st.IndexTimeSplits, st.IndexKeySplits)
+	fmt.Printf("redundant versions:   %d\n", st.RedundantVersions)
+	fmt.Printf("redundant idx entries:%d\n", st.RedundantIndexEntries)
+	fmt.Printf("versions migrated:    %d (%d bytes)\n", st.VersionsMigrated, st.BytesMigrated)
+	fmt.Printf("marked leaves:        %d (forced splits: %d)\n", st.MarkedLeaves, st.ForcedTimeSplits)
+
+	rep := metrics.Collect(st, res.Mag.Stats(), res.WORM.Stats(), 4096, 1024)
+	fmt.Printf("\nspace: %s\n", rep)
+
+	if err := res.Tree.CheckInvariants(); err != nil {
+		return fmt.Errorf("INVARIANT VIOLATION: %w", err)
+	}
+	fmt.Println("invariants: OK")
+
+	analysis, err := res.Tree.Analyze()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-level profile:\n%s", analysis)
+
+	if dump {
+		s, err := res.Tree.Dump()
+		if err != nil {
+			return err
+		}
+		fmt.Println("\n" + s)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run("tsb-lastupdate", 600, 0.5, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadPolicy(t *testing.T) {
+	if err := run("bogus", 100, 0.5, 1, false); err == nil {
+		t.Fatal("bogus policy should fail")
+	}
+}

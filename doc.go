@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of David Lomet & Betty
+// Salzberg, "Access Methods for Multiversion Data", SIGMOD 1989 — the
+// Time-Split B-tree (TSB-tree).
+//
+// The system lives in internal/ (see DESIGN.md for the inventory):
+//
+//   - internal/core: the TSB-tree itself (the paper's contribution);
+//   - internal/wobt: Easton's Write-Once B-tree, the §2 baseline;
+//   - internal/bplus: a single-version B+-tree comparator;
+//   - internal/storage: simulated magnetic and write-once devices;
+//   - internal/buffer, internal/record: substrates;
+//   - internal/txn, internal/secondary, internal/db: the §4/§3.6
+//     transaction and secondary-index layers and the engine facade;
+//   - internal/workload, internal/metrics, internal/experiments: the
+//     evaluation harness (experiments E1-E9, see EXPERIMENTS.md).
+//
+// The benchmarks in bench_test.go regenerate every experiment; the
+// binaries under cmd/ print the experiment tables (tsbench), replay the
+// paper's figures (figures), and dump tree structure (tsbdump).
+package repro

@@ -1,0 +1,384 @@
+// Package bplus implements a conventional single-version B+-tree over the
+// magnetic page store. It is the "current database only" comparator in the
+// experiments: it stores exactly one version per key, cannot answer as-of
+// or history queries at all, and its key splits are the model for the
+// TSB-tree's in-place key splits (§3.1: "the key splits on magnetic disk
+// are more like those in B+-trees since we need not keep the old node
+// intact").
+package bplus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// Tree is a single-version B+-tree. It is not safe for concurrent use.
+type Tree struct {
+	mag      storage.PageStore
+	root     uint64
+	leafCap  int
+	indexCap int
+	maxKey   int
+	maxVal   int
+	height   int
+	nodes    int
+	inserts  uint64
+	splits   uint64
+}
+
+// Config configures a B+-tree.
+type Config struct {
+	// LeafCapacity and IndexCapacity are logical node sizes in encoded
+	// bytes; both default to the page size.
+	LeafCapacity  int
+	IndexCapacity int
+	// MaxKeySize and MaxValueSize bound record sizes (defaults 64 and
+	// LeafCapacity/8).
+	MaxKeySize   int
+	MaxValueSize int
+}
+
+// Stats reports structural counters.
+type Stats struct {
+	Inserts uint64
+	Splits  uint64
+	Nodes   int
+	Height  int
+}
+
+type pair struct {
+	key record.Key
+	val []byte
+}
+
+// node is a B+-tree node: either sorted key/value pairs (leaf) or sorted
+// separator keys with children (index; children[i] covers keys in
+// [keys[i], keys[i+1])). keys[0] is always nil (minus infinity).
+type node struct {
+	page     uint64
+	leaf     bool
+	pairs    []pair
+	keys     []record.Key
+	children []uint64
+}
+
+// New creates an empty B+-tree on mag.
+func New(mag storage.PageStore, cfg Config) (*Tree, error) {
+	t := &Tree{mag: mag}
+	t.leafCap = cfg.LeafCapacity
+	if t.leafCap == 0 || t.leafCap > mag.PageSize() {
+		t.leafCap = mag.PageSize()
+	}
+	t.indexCap = cfg.IndexCapacity
+	if t.indexCap == 0 || t.indexCap > mag.PageSize() {
+		t.indexCap = mag.PageSize()
+	}
+	t.maxKey = cfg.MaxKeySize
+	if t.maxKey == 0 {
+		t.maxKey = 64
+	}
+	t.maxVal = cfg.MaxValueSize
+	if t.maxVal == 0 {
+		t.maxVal = t.leafCap / 8
+	}
+	if 4*(t.maxKey+16) > t.indexCap {
+		return nil, fmt.Errorf("bplus: index capacity %d too small for MaxKeySize %d", t.indexCap, t.maxKey)
+	}
+	page, err := mag.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	t.root = page
+	t.height = 1
+	t.nodes = 1
+	if err := t.write(&node{page: page, leaf: true}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Tree) Stats() Stats {
+	return Stats{Inserts: t.inserts, Splits: t.splits, Nodes: t.nodes, Height: t.height}
+}
+
+func encode(n *node) []byte {
+	e := record.NewEncoder(nil)
+	if n.leaf {
+		e.Byte(0)
+		e.Uvarint(uint64(len(n.pairs)))
+		for _, p := range n.pairs {
+			e.Key(p.key)
+			e.Blob(p.val)
+		}
+	} else {
+		e.Byte(1)
+		e.Uvarint(uint64(len(n.children)))
+		for i, c := range n.children {
+			e.Key(n.keys[i])
+			e.Uvarint(c)
+		}
+	}
+	return e.Bytes()
+}
+
+func decode(data []byte, page uint64) (*node, error) {
+	d := record.NewDecoder(data)
+	n := &node{page: page, leaf: d.Byte() == 0}
+	count := d.Uvarint()
+	for i := uint64(0); i < count && d.Err() == nil; i++ {
+		if n.leaf {
+			n.pairs = append(n.pairs, pair{key: d.Key(), val: d.Blob()})
+		} else {
+			n.keys = append(n.keys, d.Key())
+			n.children = append(n.children, d.Uvarint())
+		}
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("bplus: page %d: %w", page, d.Err())
+	}
+	return n, nil
+}
+
+func (t *Tree) read(page uint64) (*node, error) {
+	data, err := t.mag.Read(page)
+	if err != nil {
+		return nil, err
+	}
+	return decode(data, page)
+}
+
+func (t *Tree) write(n *node) error {
+	data := encode(n)
+	if len(data) > t.mag.PageSize() {
+		return fmt.Errorf("bplus: node of %d bytes exceeds page size", len(data))
+	}
+	return t.mag.Write(n.page, data)
+}
+
+func (t *Tree) size(n *node) int { return len(encode(n)) }
+
+// childIndex returns the position of the child covering key k.
+func childIndex(n *node, k record.Key) int {
+	// keys[0] is nil; find the last separator <= k.
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i].Compare(k) > 0 })
+	return i - 1
+}
+
+// Put inserts or replaces the value for key k.
+func (t *Tree) Put(k record.Key, val []byte) error {
+	if len(k) == 0 || len(k) > t.maxKey {
+		return fmt.Errorf("bplus: bad key length %d", len(k))
+	}
+	if len(val) > t.maxVal {
+		return fmt.Errorf("bplus: value of %d bytes exceeds max %d", len(val), t.maxVal)
+	}
+	need := len(k) + len(val) + 8
+
+	root, err := t.read(t.root)
+	if err != nil {
+		return err
+	}
+	rootLimit := t.indexCap - 2*(t.maxKey+16)
+	if root.leaf {
+		rootLimit = t.leafCap - need
+	}
+	if t.size(root) > rootLimit {
+		if err := t.splitRoot(root); err != nil {
+			return err
+		}
+		if root, err = t.read(t.root); err != nil {
+			return err
+		}
+	}
+
+	n := root
+	for !n.leaf {
+		ci := childIndex(n, k)
+		child, err := t.read(n.children[ci])
+		if err != nil {
+			return err
+		}
+		var full bool
+		if child.leaf {
+			full = t.size(child)+need+4 > t.leafCap
+		} else {
+			full = t.size(child)+2*(t.maxKey+16) > t.indexCap
+		}
+		if full {
+			if err := t.splitChild(n, ci, child); err != nil {
+				return err
+			}
+			ci = childIndex(n, k)
+			if child, err = t.read(n.children[ci]); err != nil {
+				return err
+			}
+		}
+		n = child
+	}
+	i := sort.Search(len(n.pairs), func(i int) bool { return n.pairs[i].key.Compare(k) >= 0 })
+	if i < len(n.pairs) && n.pairs[i].key.Equal(k) {
+		n.pairs[i].val = append([]byte(nil), val...)
+	} else {
+		n.pairs = append(n.pairs, pair{})
+		copy(n.pairs[i+1:], n.pairs[i:])
+		n.pairs[i] = pair{key: k.Clone(), val: append([]byte(nil), val...)}
+	}
+	t.inserts++
+	return t.write(n)
+}
+
+// Delete removes key k. It reports whether the key was present.
+func (t *Tree) Delete(k record.Key) (bool, error) {
+	n, err := t.leafFor(k)
+	if err != nil {
+		return false, err
+	}
+	for i, p := range n.pairs {
+		if p.key.Equal(k) {
+			n.pairs = append(n.pairs[:i], n.pairs[i+1:]...)
+			return true, t.write(n)
+		}
+	}
+	return false, nil
+}
+
+func (t *Tree) leafFor(k record.Key) (*node, error) {
+	n, err := t.read(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		if n, err = t.read(n.children[childIndex(n, k)]); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Get returns the value stored under key k.
+func (t *Tree) Get(k record.Key) ([]byte, bool, error) {
+	n, err := t.leafFor(k)
+	if err != nil {
+		return nil, false, err
+	}
+	i := sort.Search(len(n.pairs), func(i int) bool { return n.pairs[i].key.Compare(k) >= 0 })
+	if i < len(n.pairs) && n.pairs[i].key.Equal(k) {
+		return append([]byte(nil), n.pairs[i].val...), true, nil
+	}
+	return nil, false, nil
+}
+
+// Scan returns all pairs with keys in [low, high), sorted.
+func (t *Tree) Scan(low record.Key, high record.Bound) ([]record.Key, [][]byte, error) {
+	var keys []record.Key
+	var vals [][]byte
+	var walk func(page uint64) error
+	walk = func(page uint64) error {
+		n, err := t.read(page)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, p := range n.pairs {
+				if p.key.Compare(low) >= 0 && high.CompareKey(p.key) > 0 {
+					keys = append(keys, p.key)
+					vals = append(vals, p.val)
+				}
+			}
+			return nil
+		}
+		for i, c := range n.children {
+			// child i covers [keys[i], keys[i+1]); skip if outside.
+			if i+1 < len(n.keys) && n.keys[i+1].Compare(low) <= 0 {
+				continue
+			}
+			if high.CompareKey(n.keys[i]) <= 0 {
+				continue
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, nil, err
+	}
+	return keys, vals, nil
+}
+
+// splitChild splits the full child at position ci of parent n.
+func (t *Tree) splitChild(parent *node, ci int, child *node) error {
+	sep, right, err := t.splitNode(child)
+	if err != nil {
+		return err
+	}
+	parent.keys = append(parent.keys, nil)
+	parent.children = append(parent.children, 0)
+	copy(parent.keys[ci+2:], parent.keys[ci+1:])
+	copy(parent.children[ci+2:], parent.children[ci+1:])
+	parent.keys[ci+1] = sep
+	parent.children[ci+1] = right
+	return t.write(parent)
+}
+
+// splitNode halves n, writes both halves, and returns the separator key
+// and the new right page.
+func (t *Tree) splitNode(n *node) (record.Key, uint64, error) {
+	page, err := t.mag.Alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	right := &node{page: page, leaf: n.leaf}
+	var sep record.Key
+	if n.leaf {
+		if len(n.pairs) < 2 {
+			return nil, 0, fmt.Errorf("bplus: leaf too small to split")
+		}
+		mid := len(n.pairs) / 2
+		sep = n.pairs[mid].key.Clone()
+		right.pairs = append(right.pairs, n.pairs[mid:]...)
+		n.pairs = n.pairs[:mid]
+	} else {
+		if len(n.children) < 2 {
+			return nil, 0, fmt.Errorf("bplus: index too small to split")
+		}
+		mid := len(n.children) / 2
+		sep = n.keys[mid].Clone()
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.children = append(right.children, n.children[mid:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid]
+	}
+	t.splits++
+	t.nodes++
+	if err := t.write(n); err != nil {
+		return nil, 0, err
+	}
+	return sep, page, t.write(right)
+}
+
+// splitRoot splits the root, growing the tree by one level.
+func (t *Tree) splitRoot(root *node) error {
+	sep, right, err := t.splitNode(root)
+	if err != nil {
+		return err
+	}
+	page, err := t.mag.Alloc()
+	if err != nil {
+		return err
+	}
+	newRoot := &node{
+		page:     page,
+		keys:     []record.Key{nil, sep},
+		children: []uint64{root.page, right},
+	}
+	t.root = page
+	t.height++
+	t.nodes++
+	return t.write(newRoot)
+}

@@ -1,0 +1,149 @@
+package bplus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+func newTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	mag := storage.NewMagneticDisk(4096, storage.CostModel{})
+	tree, err := New(mag, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestEmpty(t *testing.T) {
+	tree := newTree(t, Config{})
+	if _, ok, err := tree.Get(record.StringKey("a")); ok || err != nil {
+		t.Fatalf("Get on empty = %v, %v", ok, err)
+	}
+	if ok, err := tree.Delete(record.StringKey("a")); ok || err != nil {
+		t.Fatalf("Delete on empty = %v, %v", ok, err)
+	}
+	ks, _, err := tree.Scan(nil, record.InfiniteBound())
+	if err != nil || len(ks) != 0 {
+		t.Fatalf("Scan on empty = %v, %v", ks, err)
+	}
+}
+
+func TestPutGetReplaceDelete(t *testing.T) {
+	tree := newTree(t, Config{})
+	if err := tree.Put(record.StringKey("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := tree.Get(record.StringKey("k"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// Replacement overwrites: single-version semantics.
+	tree.Put(record.StringKey("k"), []byte("v2"))
+	v, _, _ = tree.Get(record.StringKey("k"))
+	if string(v) != "v2" {
+		t.Fatalf("after replace Get = %q", v)
+	}
+	ok, err := tree.Delete(record.StringKey("k"))
+	if !ok || err != nil {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if _, ok, _ := tree.Get(record.StringKey("k")); ok {
+		t.Fatal("Get after delete should miss")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tree := newTree(t, Config{MaxKeySize: 4, MaxValueSize: 8})
+	if err := tree.Put(nil, []byte("x")); err == nil {
+		t.Error("empty key should fail")
+	}
+	if err := tree.Put(record.StringKey("toolong"), []byte("x")); err == nil {
+		t.Error("oversize key should fail")
+	}
+	if err := tree.Put(record.StringKey("k"), make([]byte, 99)); err == nil {
+		t.Error("oversize value should fail")
+	}
+	if _, err := New(storage.NewMagneticDisk(4096, storage.CostModel{}), Config{IndexCapacity: 64}); err == nil {
+		t.Error("tiny index capacity should fail")
+	}
+}
+
+func TestGrowthAndOrderedScan(t *testing.T) {
+	tree := newTree(t, Config{LeafCapacity: 128, IndexCapacity: 512, MaxKeySize: 16})
+	const n = 500
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		if err := tree.Put(record.StringKey(fmt.Sprintf("key%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Stats().Height < 2 || tree.Stats().Splits == 0 {
+		t.Fatalf("stats: %+v", tree.Stats())
+	}
+	for i := 0; i < n; i++ {
+		k := record.StringKey(fmt.Sprintf("key%04d", i))
+		v, ok, err := tree.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) = %q, %v, %v", k, v, ok, err)
+		}
+	}
+	keys, vals, err := tree.Scan(nil, record.InfiniteBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n || len(vals) != n {
+		t.Fatalf("Scan returned %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keys[i-1].Less(keys[i]) {
+			t.Fatalf("scan out of order at %d: %s >= %s", i, keys[i-1], keys[i])
+		}
+	}
+	// Range scan.
+	keys, _, _ = tree.Scan(record.StringKey("key0100"), record.KeyBound(record.StringKey("key0200")))
+	if len(keys) != 100 {
+		t.Fatalf("range scan = %d keys, want 100", len(keys))
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree := newTree(t, Config{LeafCapacity: 96, IndexCapacity: 512, MaxKeySize: 16})
+	ref := make(map[string]string)
+	for op := 0; op < 3000; op++ {
+		k := fmt.Sprintf("key%03d", rng.Intn(200))
+		switch rng.Intn(5) {
+		case 0:
+			ok, err := tree.Delete(record.StringKey(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, inRef := ref[k]
+			if ok != inRef {
+				t.Fatalf("Delete(%s) = %v, ref presence %v", k, ok, inRef)
+			}
+			delete(ref, k)
+		default:
+			v := fmt.Sprintf("v%d", op)
+			if err := tree.Put(record.StringKey(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		}
+	}
+	for k, want := range ref {
+		v, ok, err := tree.Get(record.StringKey(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v, %v; want %q", k, v, ok, err, want)
+		}
+	}
+	keys, _, _ := tree.Scan(nil, record.InfiniteBound())
+	if len(keys) != len(ref) {
+		t.Fatalf("Scan size %d != ref size %d", len(keys), len(ref))
+	}
+}

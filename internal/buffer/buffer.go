@@ -1,0 +1,142 @@
+// Package buffer provides an LRU page cache layered over a
+// storage.PageStore. The trees in this repository perform page-granular
+// reads and writes; placing a Pool between a tree and its MagneticDisk
+// turns repeated traversals of hot index pages into memory hits, exactly
+// the role a database buffer manager plays over a real drive.
+//
+// The pool is a write-through cache: Write updates both the cache and the
+// underlying device, so the device always holds the durable image and the
+// device-level space accounting stays exact. Read hits avoid device I/O
+// (and therefore simulated seek latency), which is what experiment E5
+// measures.
+package buffer
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when no reads occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	page uint64
+	data []byte
+}
+
+// Pool is an LRU write-through page cache. It implements
+// storage.PageStore and is safe for concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	dev   storage.PageStore
+	cap   int
+	lru   *list.List // front = most recently used
+	byPg  map[uint64]*list.Element
+	stats Stats
+}
+
+// NewPool returns a pool caching up to capacity pages of dev.
+func NewPool(dev storage.PageStore, capacity int) *Pool {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Pool{
+		dev:  dev,
+		cap:  capacity,
+		lru:  list.New(),
+		byPg: make(map[uint64]*list.Element),
+	}
+}
+
+// PageSize returns the underlying device's page size.
+func (p *Pool) PageSize() int { return p.dev.PageSize() }
+
+// Alloc allocates a page on the underlying device.
+func (p *Pool) Alloc() (uint64, error) { return p.dev.Alloc() }
+
+func (p *Pool) insert(page uint64, data []byte) {
+	if el, ok := p.byPg[page]; ok {
+		el.Value.(*frame).data = data
+		p.lru.MoveToFront(el)
+		return
+	}
+	if p.lru.Len() >= p.cap {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		delete(p.byPg, back.Value.(*frame).page)
+		p.stats.Evictions++
+	}
+	p.byPg[page] = p.lru.PushFront(&frame{page: page, data: data})
+}
+
+// Read returns the page contents, from cache when possible.
+func (p *Pool) Read(page uint64) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byPg[page]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.Hits++
+		cached := el.Value.(*frame).data
+		out := make([]byte, len(cached))
+		copy(out, cached)
+		return out, nil
+	}
+	p.stats.Misses++
+	data, err := p.dev.Read(page)
+	if err != nil {
+		return nil, err
+	}
+	cached := make([]byte, len(data))
+	copy(cached, data)
+	p.insert(page, cached)
+	return data, nil
+}
+
+// Write stores the page contents through to the device and refreshes the
+// cached copy.
+func (p *Pool) Write(page uint64, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.dev.Write(page, data); err != nil {
+		return err
+	}
+	cached := make([]byte, len(data))
+	copy(cached, data)
+	p.insert(page, cached)
+	return nil
+}
+
+// Free drops any cached copy and releases the page on the device.
+func (p *Pool) Free(page uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byPg[page]; ok {
+		p.lru.Remove(el)
+		delete(p.byPg, page)
+	}
+	return p.dev.Free(page)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+var _ storage.PageStore = (*Pool)(nil)

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// Cursor streams a snapshot of the database at a fixed time in key order
+// without materializing it: the iterator form of ScanAsOf, for backups and
+// large range reads. A cursor reads whatever nodes it needs lazily; it is
+// positioned before the first version until Next is called.
+//
+// Because the entries of every index node partition its rectangle, the
+// leaves visited at a fixed time form a disjoint, key-ordered sequence:
+// the cursor walks them with an explicit stack, no deduplication needed.
+type Cursor struct {
+	tree *Tree
+	at   record.Timestamp
+	high record.Bound
+
+	// stack of pending subtrees in reverse key order (top = next).
+	stack []cursorFrame
+	// buffered versions of the current leaf, ascending key order.
+	buf []record.Version
+	pos int
+	err error
+}
+
+type cursorFrame struct {
+	addr storage.Addr
+	clip record.Rect
+}
+
+// NewCursor returns a cursor over keys in [low, high) as of time at.
+func (t *Tree) NewCursor(at record.Timestamp, low record.Key, high record.Bound) *Cursor {
+	c := &Cursor{tree: t, at: at, high: high}
+	c.stack = append(c.stack, cursorFrame{addr: t.root, clip: record.WholeSpace()})
+	c.skipBelow(low)
+	return c
+}
+
+// skipBelow narrows the initial clip so keys before low are not produced.
+func (c *Cursor) skipBelow(low record.Key) {
+	if len(low) == 0 {
+		return
+	}
+	f := &c.stack[0]
+	f.clip.LowKey = low.Clone()
+}
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Next advances to the next version and reports whether one is available.
+func (c *Cursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	for {
+		if c.pos < len(c.buf) {
+			c.pos++
+			return true
+		}
+		if len(c.stack) == 0 {
+			return false
+		}
+		top := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		n, err := c.tree.readNode(top.addr)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		if n.leaf {
+			c.fillFromLeaf(n, top.clip)
+			continue
+		}
+		// Push matching children in reverse key order so the
+		// smallest keys pop first. Entries are sorted by (LowKey,
+		// Start); at a fixed time at most one entry per key slab
+		// matches, so reverse iteration preserves key order.
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			e := n.entries[i]
+			sub, ok := e.rect.Intersect(top.clip)
+			if !ok || !sub.ContainsTime(c.at) {
+				continue
+			}
+			if c.high.CompareKey(sub.LowKey) <= 0 {
+				continue
+			}
+			c.stack = append(c.stack, cursorFrame{addr: e.child, clip: sub})
+		}
+	}
+}
+
+// fillFromLeaf buffers the leaf's visible versions in ascending key order.
+func (c *Cursor) fillFromLeaf(n *node, clip record.Rect) {
+	c.buf = c.buf[:0]
+	c.pos = 0
+	var last record.Key
+	haveLast := false
+	flushIdx := -1
+	var best record.Version
+	flush := func() {
+		if flushIdx >= 0 && !best.Tombstone {
+			c.buf = append(c.buf, best)
+		}
+		flushIdx = -1
+	}
+	for _, v := range n.versions {
+		if v.IsPending() || v.Time > c.at {
+			continue
+		}
+		if !clip.ContainsKey(v.Key) || c.high.CompareKey(v.Key) <= 0 {
+			continue
+		}
+		if !haveLast || !v.Key.Equal(last) {
+			flush()
+			last = v.Key
+			haveLast = true
+			best = v
+			flushIdx = 0
+			continue
+		}
+		if v.Time > best.Time {
+			best = v
+		}
+	}
+	flush()
+}
+
+// Version returns the version the cursor is positioned on. It must only be
+// called after a successful Next.
+func (c *Cursor) Version() record.Version { return c.buf[c.pos-1] }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/record"
+)
+
+// Change describes how one key differed between two times.
+type Change struct {
+	Key record.Key
+	// Before is the version valid at the `from` time (ok=false if the
+	// key did not exist then).
+	Before   record.Version
+	HasBefor bool
+	// After is the version valid at the `to` time (ok=false if the key
+	// was deleted by then).
+	After    record.Version
+	HasAfter bool
+}
+
+// Kind classifies the change.
+func (c Change) Kind() string {
+	switch {
+	case !c.HasBefor && c.HasAfter:
+		return "created"
+	case c.HasBefor && !c.HasAfter:
+		return "deleted"
+	default:
+		return "updated"
+	}
+}
+
+// Diff reports every key in [low, high) whose visible state differs
+// between times `from` and `to` (from < to), sorted by key: the
+// time-travel comparison query ("what changed between the two backups?").
+// It is built on ScanRange, so it reads only the node slices overlapping
+// the window.
+func (t *Tree) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]Change, error) {
+	if to <= from {
+		return nil, nil
+	}
+	// Every version valid at some moment in (from, to] is in the scan of
+	// [from, to+1); group by key and compare the endpoints.
+	vs, err := t.ScanRange(low, high, from, to+1)
+	if err != nil {
+		return nil, err
+	}
+	type state struct {
+		atFrom, atTo record.Version
+		hasFrom      bool
+		hasTo        bool
+		changedIn    bool // any version committed in (from, to]
+	}
+	byKey := make(map[string]*state)
+	order := []record.Key{}
+	for _, v := range vs {
+		s, ok := byKey[string(v.Key)]
+		if !ok {
+			s = &state{}
+			byKey[string(v.Key)] = s
+			order = append(order, v.Key)
+		}
+		if v.Time <= from {
+			s.atFrom, s.hasFrom = v, !v.Tombstone
+		} else {
+			s.changedIn = true
+		}
+		if v.Time <= to && (!s.hasTo || v.Time > s.atTo.Time) {
+			s.atTo = v
+			s.hasTo = true
+		}
+	}
+	var out []Change
+	for _, k := range order {
+		s := byKey[string(k)]
+		if !s.changedIn {
+			continue
+		}
+		c := Change{Key: k}
+		if s.hasFrom {
+			c.Before, c.HasBefor = s.atFrom, true
+		}
+		if s.hasTo && !s.atTo.Tombstone {
+			c.After, c.HasAfter = s.atTo, true
+		}
+		if !c.HasBefor && !c.HasAfter {
+			continue // created and deleted inside the window
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out, nil
+}

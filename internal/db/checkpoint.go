@@ -1,0 +1,106 @@
+package db
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/secondary"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// checkpoint is the on-wire form of a saved database. Both devices are
+// imaged in full (the simulated disks are the durable state), plus the
+// tree metadata and the transaction clock.
+type checkpoint struct {
+	FormatVersion int
+	Magnetic      storage.MagneticImage
+	WORM          storage.WORMImage
+	Primary       core.TreeImage
+	Secondaries   map[string]core.TreeImage
+	Clock         record.Timestamp
+	BufferPages   int
+}
+
+const checkpointVersion = 1
+
+// SaveTo writes a checkpoint of the database. There must be no active
+// updating transactions (pending versions are saved as pending and remain
+// abortable after load, but in-flight Txn handles do not survive).
+func (d *DB) SaveTo(w io.Writer) error {
+	cp := checkpoint{
+		FormatVersion: checkpointVersion,
+		Magnetic:      d.mag.Image(),
+		WORM:          d.worm.Image(),
+		Primary:       d.tree.Image(),
+		Secondaries:   make(map[string]core.TreeImage),
+		Clock:         d.tm.Now(),
+		BufferPages:   d.bufferPages,
+	}
+	for name, s := range d.secondaries {
+		cp.Secondaries[name] = s.index.Image()
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadFrom reconstructs a database from a checkpoint. Secondary-index
+// extraction functions are code, not data: the caller must re-supply one
+// per saved index (and no extras).
+func LoadFrom(r io.Reader, extracts map[string]SecondaryExtract, cost *storage.CostModel) (*DB, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("db: reading checkpoint: %w", err)
+	}
+	if cp.FormatVersion != checkpointVersion {
+		return nil, fmt.Errorf("db: checkpoint format %d, want %d", cp.FormatVersion, checkpointVersion)
+	}
+	if len(extracts) != len(cp.Secondaries) {
+		return nil, fmt.Errorf("db: checkpoint has %d secondary indexes, %d extractors supplied",
+			len(cp.Secondaries), len(extracts))
+	}
+	cm := storage.DefaultCostModel()
+	if cost != nil {
+		cm = *cost
+	}
+
+	d := &DB{secondaries: make(map[string]*secondaryIndex), bufferPages: cp.BufferPages}
+	d.mag = storage.NewMagneticFromImage(cp.Magnetic, cm)
+	d.worm = storage.NewWORMFromImage(cp.WORM, cm)
+	var pages storage.PageStore = d.mag
+	if cp.BufferPages > 0 {
+		d.pool = buffer.NewPool(d.mag, cp.BufferPages)
+		pages = d.pool
+	}
+	tree, err := core.FromImage(pages, d.worm, cp.Primary)
+	if err != nil {
+		return nil, err
+	}
+	d.tree = tree
+
+	// Deterministic order for reproducible error messages.
+	names := make([]string, 0, len(cp.Secondaries))
+	for name := range cp.Secondaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		extract, ok := extracts[name]
+		if !ok {
+			return nil, fmt.Errorf("db: no extractor supplied for saved secondary index %q", name)
+		}
+		ix, err := secondary.FromImage(name, pages, d.worm, cp.Secondaries[name])
+		if err != nil {
+			return nil, fmt.Errorf("db: secondary %q: %w", name, err)
+		}
+		d.secondaries[name] = &secondaryIndex{index: ix, extract: extract}
+	}
+
+	d.tm = txn.NewManager(tree, cp.Clock)
+	d.tm.SetCommitHook(d.onCommit)
+	return d, nil
+}

@@ -1,0 +1,129 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func deptExtract(v []byte) record.Key {
+	i := bytes.IndexByte(v, '|')
+	if i < 0 {
+		return nil
+	}
+	return record.Key(v[:i])
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	d := open(t, Config{BufferPages: 16})
+	if err := d.CreateSecondary("dept", deptExtract); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		put(t, d, fmt.Sprintf("emp%03d", i%50), fmt.Sprintf("dept%02d|rev%d", i%7, i))
+	}
+	wantNow := d.Now()
+	wantHist, _ := d.History(record.StringKey("emp007"))
+	wantCount, _ := d.CountSecondary("dept", record.StringKey("dept03"), wantNow)
+
+	var buf bytes.Buffer
+	if err := d.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := LoadFrom(&buf, map[string]SecondaryExtract{"dept": deptExtract}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Now() != wantNow {
+		t.Errorf("clock = %v, want %v", d2.Now(), wantNow)
+	}
+	if err := d2.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after load: %v", err)
+	}
+	gotHist, err := d2.History(record.StringKey("emp007"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotHist) != len(wantHist) {
+		t.Fatalf("history length %d, want %d", len(gotHist), len(wantHist))
+	}
+	for i := range wantHist {
+		if gotHist[i].Time != wantHist[i].Time || string(gotHist[i].Value) != string(wantHist[i].Value) {
+			t.Fatalf("history[%d] = %v, want %v", i, gotHist[i], wantHist[i])
+		}
+	}
+	gotCount, _ := d2.CountSecondary("dept", record.StringKey("dept03"), wantNow)
+	if gotCount != wantCount {
+		t.Errorf("secondary count = %d, want %d", gotCount, wantCount)
+	}
+	// The reopened database keeps working: writes, commits, secondary
+	// maintenance, and further checkpoints.
+	put(t, d2, "emp000", "dept99|after-restart")
+	v, ok, _ := d2.Get(record.StringKey("emp000"))
+	if !ok || string(v.Value) != "dept99|after-restart" {
+		t.Fatalf("write after load = %v, %v", v, ok)
+	}
+	if n, _ := d2.CountSecondary("dept", record.StringKey("dept99"), d2.Now()); n != 1 {
+		t.Errorf("secondary after reload write = %d, want 1", n)
+	}
+	var buf2 bytes.Buffer
+	if err := d2.SaveTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointPreservesPendingVersions(t *testing.T) {
+	d := open(t, Config{})
+	put(t, d, "k", "committed")
+	tx := d.Begin()
+	if err := tx.Put(record.StringKey("k"), []byte("inflight")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadFrom(&buf, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pending version survived the checkpoint but is invisible; it
+	// remains erasable (the in-flight Txn handle itself did not survive,
+	// so recovery aborts it through the tree API).
+	v, ok, _ := d2.Get(record.StringKey("k"))
+	if !ok || string(v.Value) != "committed" {
+		t.Fatalf("Get after load = %v, %v", v, ok)
+	}
+	if err := d2.Tree().AbortKey(record.StringKey("k"), tx.ID()); err != nil {
+		t.Fatalf("recovery abort: %v", err)
+	}
+	if err := d2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadValidatesInputs(t *testing.T) {
+	d := open(t, Config{})
+	d.CreateSecondary("a", func([]byte) record.Key { return nil })
+	put(t, d, "k", "v")
+	var buf bytes.Buffer
+	if err := d.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Missing extractor.
+	if _, err := LoadFrom(bytes.NewReader(buf.Bytes()), nil, nil); err == nil {
+		t.Error("missing extractor should fail")
+	}
+	// Wrong extractor name.
+	if _, err := LoadFrom(bytes.NewReader(buf.Bytes()),
+		map[string]SecondaryExtract{"b": func([]byte) record.Key { return nil }}, nil); err == nil {
+		t.Error("wrong extractor name should fail")
+	}
+	// Garbage input.
+	if _, err := LoadFrom(bytes.NewReader([]byte("not a checkpoint")), nil, nil); err == nil {
+		t.Error("garbage checkpoint should fail")
+	}
+}

@@ -1,0 +1,315 @@
+// Package db is the public face of the reproduction: a multiversion,
+// timestamped database engine with a non-deletion policy, backed by a
+// Time-Split B-tree over a simulated magnetic disk (current data) and a
+// simulated write-once optical disk (historical data), with transactions,
+// lock-free read-only queries, and secondary indexes — the complete system
+// of Lomet & Salzberg, SIGMOD 1989.
+//
+// Typical use:
+//
+//	d, _ := db.Open(db.Config{})
+//	d.Update(func(tx *txn.Txn) error { return tx.Put(k, v) })
+//	v, ok, _ := d.Get(k)              // current version
+//	v, ok, _ = d.GetAsOf(k, t)        // rollback query
+//	snap := d.ReadOnly()              // lock-free snapshot reader
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/secondary"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Config configures a database.
+type Config struct {
+	// PageSize is the magnetic page size in bytes (default 4096).
+	PageSize int
+	// SectorSize is the WORM sector size in bytes (default 1024, the
+	// paper's "typically about one kilobyte").
+	SectorSize int
+	// BufferPages is the page-cache capacity (default 256; 0 disables
+	// caching).
+	BufferPages int
+	// Policy is the TSB-tree splitting policy (default PolicyLastUpdate,
+	// the paper's refinement).
+	Policy core.Policy
+	// Cost is the simulated latency model (default DefaultCostModel).
+	Cost *storage.CostModel
+	// PlatterSectors/Drives enable the optical-library model (0 = one
+	// always-mounted disk).
+	PlatterSectors uint64
+	Drives         int
+	// MaxKeySize / MaxValueSize bound record sizes (see core.Config).
+	MaxKeySize   int
+	MaxValueSize int
+	// LeafCapacity / IndexCapacity override logical node sizes (tests).
+	LeafCapacity  int
+	IndexCapacity int
+}
+
+// SecondaryExtract derives the secondary key from a record value. A nil
+// return means the record has no entry in that index.
+type SecondaryExtract func(value []byte) record.Key
+
+type secondaryIndex struct {
+	index   *secondary.Index
+	extract SecondaryExtract
+}
+
+// DB is a multiversion database instance. All public methods are safe for
+// concurrent use (the transaction manager serializes structural access;
+// read-only transactions take no logical locks).
+type DB struct {
+	mag  *storage.MagneticDisk
+	pool *buffer.Pool
+	worm *storage.WORMDisk
+	tree *core.Tree
+	tm   *txn.Manager
+
+	secondaries map[string]*secondaryIndex
+	bufferPages int
+}
+
+// Open creates a new database on fresh simulated devices.
+func Open(cfg Config) (*DB, error) {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.SectorSize == 0 {
+		cfg.SectorSize = 1024
+	}
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 256
+	}
+	cost := storage.DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	policy := cfg.Policy
+	if (policy == core.Policy{}) {
+		policy = core.PolicyLastUpdate
+	}
+
+	d := &DB{secondaries: make(map[string]*secondaryIndex), bufferPages: cfg.BufferPages}
+	d.mag = storage.NewMagneticDisk(cfg.PageSize, cost)
+	d.worm = storage.NewWORMDisk(storage.WORMConfig{
+		SectorSize:     cfg.SectorSize,
+		Cost:           cost,
+		PlatterSectors: cfg.PlatterSectors,
+		Drives:         cfg.Drives,
+	})
+	var pages storage.PageStore = d.mag
+	if cfg.BufferPages > 0 {
+		d.pool = buffer.NewPool(d.mag, cfg.BufferPages)
+		pages = d.pool
+	}
+	tree, err := core.New(pages, d.worm, core.Config{
+		Policy:        policy,
+		MaxKeySize:    cfg.MaxKeySize,
+		MaxValueSize:  cfg.MaxValueSize,
+		LeafCapacity:  cfg.LeafCapacity,
+		IndexCapacity: cfg.IndexCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.tree = tree
+	d.tm = txn.NewManager(tree, tree.Now())
+	d.tm.SetCommitHook(d.onCommit)
+	return d, nil
+}
+
+// CreateSecondary registers a secondary index maintained from commit time
+// onward. It must be called before any data is written.
+func (d *DB) CreateSecondary(name string, extract SecondaryExtract) error {
+	if d.tree.Stats().Inserts > 0 {
+		return fmt.Errorf("db: secondary index %q must be created before any writes", name)
+	}
+	if _, dup := d.secondaries[name]; dup {
+		return fmt.Errorf("db: secondary index %q already exists", name)
+	}
+	var pages storage.PageStore = d.mag
+	if d.pool != nil {
+		pages = d.pool
+	}
+	ix, err := secondary.New(name, pages, d.worm, core.Config{Policy: d.tree.Policy()})
+	if err != nil {
+		return err
+	}
+	d.secondaries[name] = &secondaryIndex{index: ix, extract: extract}
+	return nil
+}
+
+// onCommit maintains the secondary indexes; it runs under the transaction
+// manager's lock for every committed key.
+func (d *DB) onCommit(ct record.Timestamp, oldV record.Version, oldOK bool, newV record.Version) error {
+	for _, s := range d.secondaries {
+		var oldSkey record.Key
+		hadOld := false
+		if oldOK && !oldV.Tombstone {
+			if sk := s.extract(oldV.Value); sk != nil {
+				oldSkey = sk
+				hadOld = true
+			}
+		}
+		var newSkey record.Key
+		removed := true
+		if !newV.Tombstone {
+			if sk := s.extract(newV.Value); sk != nil {
+				newSkey = sk
+				removed = false
+			}
+		}
+		if !hadOld && removed {
+			continue
+		}
+		if err := s.index.Apply(ct, newV.Key, oldSkey, hadOld, newSkey, removed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Begin starts an updating transaction.
+func (d *DB) Begin() *txn.Txn { return d.tm.Begin() }
+
+// Update runs fn in a transaction, committing on success.
+func (d *DB) Update(fn func(*txn.Txn) error) error { return d.tm.Update(fn) }
+
+// ReadOnly starts a lock-free read-only transaction at the current time.
+func (d *DB) ReadOnly() *txn.ReadTxn { return d.tm.ReadOnly() }
+
+// ReadAt starts a lock-free read-only transaction at a past time.
+func (d *DB) ReadAt(at record.Timestamp) *txn.ReadTxn { return d.tm.ReadAt(at) }
+
+// Get returns the most recent committed version of key k.
+func (d *DB) Get(k record.Key) (record.Version, bool, error) {
+	return d.tm.ReadOnly().Get(k)
+}
+
+// GetAsOf returns the version of key k valid at time at.
+func (d *DB) GetAsOf(k record.Key, at record.Timestamp) (record.Version, bool, error) {
+	return d.tm.ReadAt(at).Get(k)
+}
+
+// ScanAsOf returns the snapshot of [low, high) at time at, sorted by key.
+func (d *DB) ScanAsOf(at record.Timestamp, low record.Key, high record.Bound) ([]record.Version, error) {
+	return d.tm.ReadAt(at).Scan(low, high)
+}
+
+// History returns every committed version of key k, oldest first.
+func (d *DB) History(k record.Key) ([]record.Version, error) {
+	return d.tm.History(k)
+}
+
+// ScanRange returns the versions of keys in [low, high) valid at any
+// moment in [from, to), sorted by (key, time) — e.g. "all balance changes
+// of accounts A..B during March".
+func (d *DB) ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
+	return d.tm.ScanRange(low, high, from, to)
+}
+
+// Diff reports every key in [low, high) whose visible state differs
+// between times from and to, sorted by key.
+func (d *DB) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
+	return d.tm.Diff(low, high, from, to)
+}
+
+// Now returns the last commit timestamp.
+func (d *DB) Now() record.Timestamp { return d.tm.Now() }
+
+// LookupSecondary returns the primary keys carrying the secondary key at
+// time at, using only the secondary index.
+func (d *DB) LookupSecondary(name string, skey record.Key, at record.Timestamp) ([]record.Key, error) {
+	s, ok := d.secondaries[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no secondary index %q", name)
+	}
+	return s.index.LookupAsOf(skey, at)
+}
+
+// CountSecondary counts records carrying the secondary key at time at.
+func (d *DB) CountSecondary(name string, skey record.Key, at record.Timestamp) (int, error) {
+	s, ok := d.secondaries[name]
+	if !ok {
+		return 0, fmt.Errorf("db: no secondary index %q", name)
+	}
+	return s.index.CountAsOf(skey, at)
+}
+
+// FetchBySecondary resolves a secondary lookup through the primary index:
+// <timestamp, secondary key, primary key> entries point back at primary
+// records by key and time (§3.6).
+func (d *DB) FetchBySecondary(name string, skey record.Key, at record.Timestamp) ([]record.Version, error) {
+	pks, err := d.LookupSecondary(name, skey, at)
+	if err != nil {
+		return nil, err
+	}
+	reader := d.tm.ReadAt(at)
+	out := make([]record.Version, 0, len(pks))
+	for _, pk := range pks {
+		v, ok, err := reader.Get(pk)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out, nil
+}
+
+// Stats aggregates the accounting of every component.
+type Stats struct {
+	Tree     core.Stats
+	Txn      txn.Stats
+	Magnetic storage.MagneticStats
+	WORM     storage.WORMStats
+	Buffer   buffer.Stats
+	// Secondaries maps index name to its tree stats.
+	Secondaries map[string]core.Stats
+}
+
+// Stats returns a snapshot of all counters.
+func (d *DB) Stats() Stats {
+	st := Stats{
+		Tree:        d.tree.Stats(),
+		Txn:         d.tm.Stats(),
+		Magnetic:    d.mag.Stats(),
+		WORM:        d.worm.Stats(),
+		Secondaries: make(map[string]core.Stats),
+	}
+	if d.pool != nil {
+		st.Buffer = d.pool.Stats()
+	}
+	for name, s := range d.secondaries {
+		st.Secondaries[name] = s.index.Tree().Stats()
+	}
+	return st
+}
+
+// Tree exposes the primary TSB-tree (dump tools, invariant checks).
+func (d *DB) Tree() *core.Tree { return d.tree }
+
+// Devices exposes the simulated devices for experiment accounting.
+func (d *DB) Devices() (*storage.MagneticDisk, *storage.WORMDisk) { return d.mag, d.worm }
+
+// CheckInvariants verifies the primary tree and every secondary tree.
+func (d *DB) CheckInvariants() error {
+	if err := d.tree.CheckInvariants(); err != nil {
+		return fmt.Errorf("primary: %w", err)
+	}
+	for name, s := range d.secondaries {
+		if err := s.index.Tree().CheckInvariants(); err != nil {
+			return fmt.Errorf("secondary %q: %w", name, err)
+		}
+	}
+	return nil
+}

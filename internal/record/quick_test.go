@@ -1,0 +1,189 @@
+package record
+
+// Property-based tests (testing/quick) on the key×time geometry that the
+// TSB-tree's correctness rests on: splits partition, intersection is
+// sound, and containment is consistent.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genRect produces a random well-formed rectangle.
+func genRect(rng *rand.Rand) Rect {
+	lowLen := rng.Intn(4)
+	low := make(Key, lowLen)
+	for i := range low {
+		low[i] = byte('a' + rng.Intn(4))
+	}
+	r := Rect{LowKey: low}
+	if rng.Intn(3) == 0 {
+		r.HighKey = InfiniteBound()
+	} else {
+		// High key: low plus a strictly greater suffix.
+		high := append(low.Clone(), byte('a'+rng.Intn(4)+1))
+		r.HighKey = KeyBound(high)
+	}
+	r.Start = Timestamp(rng.Intn(100))
+	if rng.Intn(3) == 0 {
+		r.End = TimeInfinity
+	} else {
+		r.End = r.Start + 1 + Timestamp(rng.Intn(100))
+	}
+	return r
+}
+
+func genPoint(rng *rand.Rand) (Key, Timestamp) {
+	n := rng.Intn(5)
+	k := make(Key, n)
+	for i := range k {
+		k[i] = byte('a' + rng.Intn(5))
+	}
+	return k, Timestamp(rng.Intn(220))
+}
+
+type quickRect struct{ R Rect }
+
+// Generate implements quick.Generator.
+func (quickRect) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickRect{R: genRect(rng)})
+}
+
+type quickPoint struct {
+	K Key
+	T Timestamp
+}
+
+// Generate implements quick.Generator.
+func (quickPoint) Generate(rng *rand.Rand, _ int) reflect.Value {
+	k, ts := genPoint(rng)
+	return reflect.ValueOf(quickPoint{K: k, T: ts})
+}
+
+func TestQuickSplitAtTimePartitions(t *testing.T) {
+	f := func(qr quickRect, qp quickPoint, cut uint8) bool {
+		r := qr.R
+		span := uint64(200)
+		T := r.Start + 1 + Timestamp(uint64(cut)%span)
+		if T <= r.Start || T >= r.End {
+			return true // vacuous: cut outside
+		}
+		older, newer := r.SplitAtTime(T)
+		if !r.Contains(qp.K, qp.T) {
+			// Points outside stay outside both halves.
+			return !older.Contains(qp.K, qp.T) && !newer.Contains(qp.K, qp.T)
+		}
+		inOld := older.Contains(qp.K, qp.T)
+		inNew := newer.Contains(qp.K, qp.T)
+		return inOld != inNew // exactly one half
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSplitAtKeyPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		r := genRect(rng)
+		// Build a split key strictly inside the key range.
+		s := append(r.LowKey.Clone(), byte('a'+rng.Intn(5)))
+		if !r.ContainsKey(s) || s.Equal(r.LowKey) {
+			continue
+		}
+		left, right := r.SplitAtKey(s)
+		k, ts := genPoint(rng)
+		if !r.Contains(k, ts) {
+			if left.Contains(k, ts) || right.Contains(k, ts) {
+				t.Fatalf("outside point in a half: %s split %s point (%s,%v)", r, s, k, ts)
+			}
+			continue
+		}
+		if left.Contains(k, ts) == right.Contains(k, ts) {
+			t.Fatalf("point (%s,%v) not in exactly one half of %s split at %s", k, ts, r, s)
+		}
+	}
+}
+
+func TestQuickIntersectSound(t *testing.T) {
+	f := func(a, b quickRect, p quickPoint) bool {
+		inter, ok := a.R.Intersect(b.R)
+		inBoth := a.R.Contains(p.K, p.T) && b.R.Contains(p.K, p.T)
+		if !ok {
+			return !inBoth // empty intersection admits no common points
+		}
+		return inter.Contains(p.K, p.T) == inBoth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectCommutes(t *testing.T) {
+	f := func(a, b quickRect) bool {
+		x, okx := a.R.Intersect(b.R)
+		y, oky := b.R.Intersect(a.R)
+		if okx != oky {
+			return false
+		}
+		return !okx || x.Equal(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectSelfIsIdentity(t *testing.T) {
+	f := func(a quickRect) bool {
+		x, ok := a.R.Intersect(a.R)
+		return ok && x.Equal(a.R)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsConsistentWithParts(t *testing.T) {
+	f := func(a quickRect, p quickPoint) bool {
+		want := a.R.ContainsKey(p.K) && a.R.ContainsTime(p.T)
+		return a.R.Contains(p.K, p.T) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOverlapsKeyRangeAgreesWithWitness(t *testing.T) {
+	f := func(a, b quickRect, p quickPoint) bool {
+		// If a point's key is in both rects' ranges, they overlap.
+		if a.R.ContainsKey(p.K) && b.R.ContainsKey(p.K) {
+			return a.R.OverlapsKeyRange(b.R.LowKey, b.R.HighKey)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVersionOrderingTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vs := make([]Version, 200)
+	for i := range vs {
+		k, _ := genPoint(rng)
+		vs[i] = Version{Key: k, Time: Timestamp(rng.Intn(50))}
+	}
+	// Before must be a strict weak ordering: irreflexive and asymmetric.
+	for _, a := range vs[:50] {
+		if a.Before(a) {
+			t.Fatal("Before not irreflexive")
+		}
+		for _, b := range vs[:50] {
+			if a.Before(b) && b.Before(a) {
+				t.Fatalf("Before not asymmetric: %v vs %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package record
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampSentinels(t *testing.T) {
+	if TimeZero.IsCommitted() {
+		t.Error("TimeZero must not be committed")
+	}
+	if TimePending.IsCommitted() {
+		t.Error("TimePending must not be committed")
+	}
+	if TimeInfinity.IsCommitted() {
+		t.Error("TimeInfinity must not be committed")
+	}
+	if !Timestamp(1).IsCommitted() {
+		t.Error("1 should be a committed time")
+	}
+	if got := TimeInfinity.String(); got != "∞" {
+		t.Errorf("TimeInfinity.String() = %q", got)
+	}
+	if got := TimePending.String(); got != "pending" {
+		t.Errorf("TimePending.String() = %q", got)
+	}
+	if got := Timestamp(42).String(); got != "42" {
+		t.Errorf("Timestamp(42).String() = %q", got)
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want int
+	}{
+		{nil, nil, 0},
+		{nil, Key("a"), -1},
+		{Key("a"), nil, 1},
+		{Key("a"), Key("b"), -1},
+		{Key("b"), Key("a"), 1},
+		{Key("a"), Key("a"), 0},
+		{Key("a"), Key("ab"), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Less(c.b); got != (c.want < 0) {
+			t.Errorf("Less(%s,%s) = %v", c.a, c.b, got)
+		}
+		if got := c.a.Equal(c.b); got != (c.want == 0) {
+			t.Errorf("Equal(%s,%s) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestUint64KeyOrderMatchesNumericOrder(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka, kb := Uint64Key(a), Uint64Key(b)
+		switch {
+		case a < b:
+			return ka.Compare(kb) < 0
+		case a > b:
+			return ka.Compare(kb) > 0
+		default:
+			return ka.Compare(kb) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64KeyRoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return KeyUint64(Uint64Key(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyClone(t *testing.T) {
+	k := Key("hello")
+	c := k.Clone()
+	c[0] = 'H'
+	if !k.Equal(Key("hello")) {
+		t.Error("Clone aliases the original")
+	}
+	if Key(nil).Clone() != nil {
+		t.Error("nil key should clone to nil")
+	}
+}
+
+func TestBoundComparisons(t *testing.T) {
+	inf := InfiniteBound()
+	a := KeyBound(Key("a"))
+	b := KeyBound(Key("b"))
+	if !inf.IsInfinite() || a.IsInfinite() {
+		t.Fatal("IsInfinite wrong")
+	}
+	if inf.CompareKey(Key("zzz")) != 1 {
+		t.Error("+inf must sort after every key")
+	}
+	if a.CompareKey(Key("a")) != 0 || a.CompareKey(Key("b")) != -1 {
+		t.Error("CompareKey wrong for finite bound")
+	}
+	if inf.Compare(inf) != 0 || a.Compare(inf) != -1 || inf.Compare(a) != 1 || a.Compare(b) != -1 {
+		t.Error("Bound.Compare ordering wrong")
+	}
+	if got := inf.String(); got != "+inf" {
+		t.Errorf("inf.String() = %q", got)
+	}
+}
+
+func TestBoundKeyPanicsOnInfinity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic calling Key() on infinite bound")
+		}
+	}()
+	InfiniteBound().Key()
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{LowKey: Key("b"), HighKey: KeyBound(Key("m")), Start: 10, End: 20}
+	cases := []struct {
+		k    Key
+		t    Timestamp
+		want bool
+	}{
+		{Key("b"), 10, true},
+		{Key("b"), 9, false},
+		{Key("b"), 20, false},
+		{Key("a"), 15, false},
+		{Key("m"), 15, false},
+		{Key("lzz"), 19, true},
+		{Key("c"), TimePending, false}, // closed rect excludes pending
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.k, c.t); got != c.want {
+			t.Errorf("Contains(%s,%s) = %v, want %v", c.k, c.t, got, c.want)
+		}
+	}
+	cur := Rect{LowKey: nil, HighKey: InfiniteBound(), Start: 5, End: TimeInfinity}
+	if !cur.Contains(Key("x"), TimePending) {
+		t.Error("current rect must contain pending versions")
+	}
+	if !cur.ContainsTime(TimePending) {
+		t.Error("current rect ContainsTime(pending) must be true")
+	}
+	if r.ContainsTime(TimePending) {
+		t.Error("closed rect must not contain pending time")
+	}
+}
+
+func TestWholeSpaceContainsEverything(t *testing.T) {
+	f := func(k []byte, t uint64) bool {
+		return WholeSpace().Contains(Key(k), Timestamp(t))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectSplitAtKey(t *testing.T) {
+	r := Rect{LowKey: Key("a"), HighKey: KeyBound(Key("z")), Start: 1, End: TimeInfinity}
+	left, right := r.SplitAtKey(Key("m"))
+	if !left.ContainsKey(Key("a")) || left.ContainsKey(Key("m")) {
+		t.Error("left half wrong")
+	}
+	if !right.ContainsKey(Key("m")) || right.ContainsKey(Key("lzz")) {
+		t.Error("right half wrong")
+	}
+	// Every key in r is in exactly one half.
+	for _, k := range []Key{Key("a"), Key("l"), Key("m"), Key("y")} {
+		inLeft, inRight := left.ContainsKey(k), right.ContainsKey(k)
+		if inLeft == inRight {
+			t.Errorf("key %s: inLeft=%v inRight=%v, want exactly one", k, inLeft, inRight)
+		}
+	}
+}
+
+func TestRectSplitAtKeyPanicsOutside(t *testing.T) {
+	r := Rect{LowKey: Key("a"), HighKey: KeyBound(Key("c")), Start: 1, End: 2}
+	for _, bad := range []Key{Key("a"), Key("c"), Key("zz")} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitAtKey(%s) should panic", bad)
+				}
+			}()
+			r.SplitAtKey(bad)
+		}()
+	}
+}
+
+func TestRectSplitAtTime(t *testing.T) {
+	r := Rect{LowKey: nil, HighKey: InfiniteBound(), Start: 10, End: TimeInfinity}
+	older, newer := r.SplitAtTime(15)
+	if older.End != 15 || newer.Start != 15 {
+		t.Fatalf("split halves wrong: %s / %s", older, newer)
+	}
+	if older.IsCurrent() {
+		t.Error("older half must be closed")
+	}
+	if !newer.IsCurrent() {
+		t.Error("newer half must stay current")
+	}
+	for _, ts := range []Timestamp{10, 14, 15, 100} {
+		inOld, inNew := older.ContainsTime(ts), newer.ContainsTime(ts)
+		if inOld == inNew {
+			t.Errorf("time %v: inOld=%v inNew=%v, want exactly one", ts, inOld, inNew)
+		}
+	}
+}
+
+func TestRectOverlapsKeyRange(t *testing.T) {
+	r := Rect{LowKey: Key("d"), HighKey: KeyBound(Key("m")), Start: 0, End: 1}
+	cases := []struct {
+		low  Key
+		high Bound
+		want bool
+	}{
+		{Key("a"), KeyBound(Key("d")), false}, // ends exactly at LowKey
+		{Key("a"), KeyBound(Key("e")), true},
+		{Key("m"), InfiniteBound(), false}, // begins exactly at HighKey
+		{Key("l"), InfiniteBound(), true},
+		{nil, InfiniteBound(), true},
+		{Key("e"), KeyBound(Key("f")), true}, // fully inside
+	}
+	for _, c := range cases {
+		if got := r.OverlapsKeyRange(c.low, c.high); got != c.want {
+			t.Errorf("OverlapsKeyRange(%s,%s) = %v, want %v", c.low, c.high, got, c.want)
+		}
+	}
+}
+
+func TestVersionOrderingAndClone(t *testing.T) {
+	a := Version{Key: Key("a"), Time: 5, Value: []byte("x")}
+	b := Version{Key: Key("a"), Time: 9, Value: []byte("y")}
+	c := Version{Key: Key("b"), Time: 1, Value: []byte("z")}
+	p := Version{Key: Key("a"), Time: TimePending, Value: []byte("w")}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("time ordering within key wrong")
+	}
+	if !b.Before(c) {
+		t.Error("key ordering wrong")
+	}
+	if !b.Before(p) {
+		t.Error("pending must sort after committed versions of same key")
+	}
+	cl := a.Clone()
+	cl.Value[0] = 'Q'
+	cl.Key[0] = 'Q'
+	if a.Value[0] != 'x' || a.Key[0] != 'a' {
+		t.Error("Clone aliases original")
+	}
+	if !p.IsPending() || a.IsPending() {
+		t.Error("IsPending wrong")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version{Key: Key("60"), Time: 4, Value: []byte("Mary")}
+	if got := v.String(); got != "60 Mary T=4" {
+		t.Errorf("String() = %q", got)
+	}
+	d := Version{Key: Key("60"), Time: 9, Tombstone: true}
+	if got := d.String(); got != "60 <deleted> T=9" {
+		t.Errorf("tombstone String() = %q", got)
+	}
+}
+
+func randKey(rng *rand.Rand) Key {
+	n := rng.Intn(12)
+	if n == 0 {
+		return nil
+	}
+	k := make(Key, n)
+	rng.Read(k)
+	return k
+}
+
+func TestCodecRoundTripVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		in := Version{
+			Key:       randKey(rng),
+			Time:      Timestamp(rng.Uint64() >> 1),
+			TxnID:     rng.Uint64() >> 3,
+			Tombstone: rng.Intn(2) == 0,
+		}
+		if rng.Intn(4) > 0 {
+			in.Value = make([]byte, rng.Intn(64))
+			rng.Read(in.Value)
+		}
+		e := NewEncoder(nil)
+		e.Version(in)
+		d := NewDecoder(e.Bytes())
+		out := d.Version()
+		if d.Err() != nil {
+			t.Fatalf("decode error: %v", d.Err())
+		}
+		if !out.Key.Equal(in.Key) || out.Time != in.Time || out.TxnID != in.TxnID ||
+			out.Tombstone != in.Tombstone || string(out.Value) != string(in.Value) {
+			t.Fatalf("round trip mismatch: in=%+v out=%+v", in, out)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("trailing bytes after decode: %d", d.Remaining())
+		}
+	}
+}
+
+func TestCodecRoundTripRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		in := Rect{
+			LowKey: randKey(rng),
+			Start:  Timestamp(rng.Uint64() >> 1),
+			End:    Timestamp(rng.Uint64() >> 1),
+		}
+		if rng.Intn(3) == 0 {
+			in.HighKey = InfiniteBound()
+		} else {
+			in.HighKey = KeyBound(randKey(rng))
+		}
+		e := NewEncoder(nil)
+		e.Rect(in)
+		d := NewDecoder(e.Bytes())
+		out := d.Rect()
+		if d.Err() != nil {
+			t.Fatalf("decode error: %v", d.Err())
+		}
+		if !out.Equal(in) {
+			t.Fatalf("round trip mismatch: in=%s out=%s", in, out)
+		}
+	}
+}
+
+func TestCodecPrimitives(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uvarint(300)
+	e.Byte(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.Blob([]byte("abc"))
+	e.Blob(nil)
+	e.Time(99)
+	d := NewDecoder(e.Bytes())
+	if d.Uvarint() != 300 || d.Byte() != 7 || !d.Bool() || d.Bool() {
+		t.Fatal("primitive round trip wrong")
+	}
+	if string(d.Blob()) != "abc" || len(d.Blob()) != 0 || d.Time() != 99 {
+		t.Fatal("blob/time round trip wrong")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestCodecCorruptInputs(t *testing.T) {
+	// Truncated varint.
+	d := NewDecoder([]byte{0x80})
+	d.Uvarint()
+	if d.Err() == nil {
+		t.Error("truncated varint should fail")
+	}
+	// Blob longer than buffer.
+	e := NewEncoder(nil)
+	e.Uvarint(100)
+	d = NewDecoder(e.Bytes())
+	d.Blob()
+	if d.Err() == nil {
+		t.Error("oversize blob should fail")
+	}
+	// Sticky error: further reads return zero values without panicking.
+	if d.Byte() != 0 || d.Uvarint() != 0 || d.Blob() != nil {
+		t.Error("sticky error should zero subsequent reads")
+	}
+	// Empty buffer byte read.
+	d = NewDecoder(nil)
+	d.Byte()
+	if d.Err() == nil {
+		t.Error("empty buffer byte read should fail")
+	}
+	// Version from garbage must not panic.
+	d = NewDecoder([]byte{1, 0xff, 0xff})
+	d.Version()
+	if d.Err() == nil {
+		t.Error("garbage version should fail")
+	}
+}
+
+func TestEncoderReuseBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	e := NewEncoder(buf)
+	e.Uvarint(1)
+	if e.Len() == 0 {
+		t.Error("Len should reflect appended data")
+	}
+	if len(e.Bytes()) != e.Len() {
+		t.Error("Bytes/Len mismatch")
+	}
+}

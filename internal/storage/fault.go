@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the base error of all injected faults.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultyPages wraps a PageStore and fails operations on demand — the
+// failure-injection harness for exercising error paths in the trees.
+// Faults are scheduled by operation count: FailAfter(op, n) makes the
+// n-th subsequent call of that operation fail (1 = the next one).
+// It is safe for concurrent use.
+type FaultyPages struct {
+	mu    sync.Mutex
+	inner PageStore
+	count map[string]int // operation -> calls seen
+	fail  map[string]int // operation -> call number to fail at
+}
+
+// NewFaultyPages wraps inner.
+func NewFaultyPages(inner PageStore) *FaultyPages {
+	return &FaultyPages{
+		inner: inner,
+		count: make(map[string]int),
+		fail:  make(map[string]int),
+	}
+}
+
+// FailAfter schedules the n-th subsequent call of op ("read", "write",
+// "alloc", "free") to fail with ErrInjected.
+func (f *FaultyPages) FailAfter(op string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.count[op] = 0
+	f.fail[op] = n
+}
+
+// Clear removes all scheduled faults.
+func (f *FaultyPages) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = make(map[string]int)
+	f.count = make(map[string]int)
+}
+
+func (f *FaultyPages) trip(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, armed := f.fail[op]
+	if !armed {
+		return nil
+	}
+	f.count[op]++
+	if f.count[op] == n {
+		delete(f.fail, op)
+		return fmt.Errorf("%w: %s #%d", ErrInjected, op, n)
+	}
+	return nil
+}
+
+// PageSize returns the wrapped store's page size.
+func (f *FaultyPages) PageSize() int { return f.inner.PageSize() }
+
+// Alloc allocates a page unless a fault is scheduled.
+func (f *FaultyPages) Alloc() (uint64, error) {
+	if err := f.trip("alloc"); err != nil {
+		return 0, err
+	}
+	return f.inner.Alloc()
+}
+
+// Read reads a page unless a fault is scheduled.
+func (f *FaultyPages) Read(p uint64) ([]byte, error) {
+	if err := f.trip("read"); err != nil {
+		return nil, err
+	}
+	return f.inner.Read(p)
+}
+
+// Write writes a page unless a fault is scheduled.
+func (f *FaultyPages) Write(p uint64, data []byte) error {
+	if err := f.trip("write"); err != nil {
+		return err
+	}
+	return f.inner.Write(p, data)
+}
+
+// Free frees a page unless a fault is scheduled.
+func (f *FaultyPages) Free(p uint64) error {
+	if err := f.trip("free"); err != nil {
+		return err
+	}
+	return f.inner.Free(p)
+}
+
+var _ PageStore = (*FaultyPages)(nil)

@@ -1,0 +1,99 @@
+package storage
+
+// Device images: exported snapshots of a device's full state, used by the
+// db layer's save/load (checkpointing) support. Images are plain data
+// with exported fields so they serialize with encoding/gob.
+
+// MagneticImage is the serializable state of a MagneticDisk.
+type MagneticImage struct {
+	PageSize int
+	Pages    [][]byte // nil = unwritten or freed
+	Live     []bool
+	Free     []uint64
+	Stats    MagneticStats
+}
+
+// Image captures the disk's current state.
+func (d *MagneticDisk) Image() MagneticImage {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := MagneticImage{
+		PageSize: d.pageSize,
+		Pages:    make([][]byte, len(d.pages)),
+		Live:     append([]bool(nil), d.live...),
+		Free:     append([]uint64(nil), d.free...),
+		Stats:    d.stats,
+	}
+	for i, p := range d.pages {
+		if p != nil {
+			img.Pages[i] = append([]byte(nil), p...)
+		}
+	}
+	return img
+}
+
+// NewMagneticFromImage reconstructs a disk from an image.
+func NewMagneticFromImage(img MagneticImage, cost CostModel) *MagneticDisk {
+	d := NewMagneticDisk(img.PageSize, cost)
+	d.pages = make([][]byte, len(img.Pages))
+	for i, p := range img.Pages {
+		if p != nil {
+			d.pages[i] = append([]byte(nil), p...)
+		}
+	}
+	d.live = append([]bool(nil), img.Live...)
+	d.free = append([]uint64(nil), img.Free...)
+	d.stats = img.Stats
+	return d
+}
+
+// WORMImage is the serializable state of a WORMDisk.
+type WORMImage struct {
+	SectorSize     int
+	Sectors        [][]byte // nil = unburned
+	Reserved       uint64
+	PlatterSectors uint64
+	Drives         int
+	Stats          WORMStats
+}
+
+// Image captures the device's current state. Mounted-platter state is
+// transient and not captured (a reopened library starts with no platters
+// on line).
+func (d *WORMDisk) Image() WORMImage {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := WORMImage{
+		SectorSize:     d.sectorSize,
+		Sectors:        make([][]byte, len(d.sectors)),
+		Reserved:       d.reserved,
+		PlatterSectors: d.platterSectors,
+		Drives:         d.drives,
+		Stats:          d.stats,
+	}
+	for i, s := range d.sectors {
+		if s != nil {
+			img.Sectors[i] = append([]byte(nil), s...)
+		}
+	}
+	return img
+}
+
+// NewWORMFromImage reconstructs a device from an image.
+func NewWORMFromImage(img WORMImage, cost CostModel) *WORMDisk {
+	d := NewWORMDisk(WORMConfig{
+		SectorSize:     img.SectorSize,
+		Cost:           cost,
+		PlatterSectors: img.PlatterSectors,
+		Drives:         img.Drives,
+	})
+	d.sectors = make([][]byte, len(img.Sectors))
+	for i, s := range img.Sectors {
+		if s != nil {
+			d.sectors[i] = append([]byte(nil), s...)
+		}
+	}
+	d.reserved = img.Reserved
+	d.stats = img.Stats
+	return d
+}

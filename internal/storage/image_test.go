@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMagneticImageRoundTrip(t *testing.T) {
+	d := NewMagneticDisk(64, CostModel{})
+	p1, _ := d.Alloc()
+	p2, _ := d.Alloc()
+	p3, _ := d.Alloc()
+	d.Write(p1, []byte("one"))
+	d.Write(p2, []byte("two"))
+	d.Free(p3)
+
+	img := d.Image()
+	d2 := NewMagneticFromImage(img, CostModel{})
+
+	got, err := d2.Read(p1)
+	if err != nil || string(got) != "one" {
+		t.Fatalf("Read(p1) = %q, %v", got, err)
+	}
+	if _, err := d2.Read(p3); err == nil {
+		t.Error("freed page must stay freed after restore")
+	}
+	// The free list survives: the next alloc reuses p3.
+	p4, _ := d2.Alloc()
+	if p4 != p3 {
+		t.Errorf("alloc after restore = %d, want recycled %d", p4, p3)
+	}
+	if d2.Stats().PagesInUse != 3 {
+		t.Errorf("PagesInUse = %d", d2.Stats().PagesInUse)
+	}
+	// The image is a deep copy: mutating the restored disk leaves the
+	// original untouched.
+	d2.Write(p1, []byte("changed"))
+	orig, _ := d.Read(p1)
+	if string(orig) != "one" {
+		t.Error("image aliased original pages")
+	}
+}
+
+func TestWORMImageRoundTrip(t *testing.T) {
+	d := NewWORMDisk(WORMConfig{SectorSize: 32, PlatterSectors: 8, Drives: 2})
+	addr, _ := d.Append(bytes.Repeat([]byte("x"), 70))
+	ext, _ := d.AllocExtent(3)
+	d.WriteSector(ext, []byte("extent0"))
+
+	img := d.Image()
+	d2 := NewWORMFromImage(img, CostModel{})
+	if d2.Stats().PayloadBytes != d.Stats().PayloadBytes ||
+		d2.Stats().SectorsBurned != d.Stats().SectorsBurned {
+		t.Error("stats lost in round trip")
+	}
+
+	got, err := d2.ReadAt(addr)
+	if err != nil || len(got) != 70 {
+		t.Fatalf("ReadAt = %d bytes, %v", len(got), err)
+	}
+	// Burn-once still enforced on restored sectors.
+	if err := d2.WriteSector(ext, []byte("again")); !errors.Is(err, ErrBurned) {
+		t.Fatalf("rewrite of restored sector = %v", err)
+	}
+	// Unburned reserved sectors remain writable.
+	if err := d2.WriteSector(ext+1, []byte("extent1")); err != nil {
+		t.Fatal(err)
+	}
+	// New appends land after the restored reservation.
+	a2, _ := d2.Append([]byte("tail"))
+	if a2.Off < ext+3 {
+		t.Errorf("append at %d overlaps restored extent [%d,%d)", a2.Off, ext, ext+3)
+	}
+}
+
+func TestWORMReadAtUnburnedRun(t *testing.T) {
+	d := NewWORMDisk(WORMConfig{SectorSize: 16})
+	ext, _ := d.AllocExtent(2)
+	if _, err := d.ReadAt(Addr{Kind: KindWORM, Off: ext, Len: 20}); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("ReadAt over unburned sectors = %v", err)
+	}
+}
+
+func TestFaultyPagesAllocAndRead(t *testing.T) {
+	d := NewMagneticDisk(32, CostModel{})
+	f := NewFaultyPages(d)
+	f.FailAfter("alloc", 1)
+	if _, err := f.Alloc(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("alloc fault = %v", err)
+	}
+	p, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(p, []byte("x"))
+	f.FailAfter("read", 1)
+	if _, err := f.Read(p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read fault = %v", err)
+	}
+	if got, err := f.Read(p); err != nil || string(got) != "x" {
+		t.Fatalf("read after fault = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,348 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestAddr(t *testing.T) {
+	if !NilAddr.IsNil() {
+		t.Error("NilAddr must be nil")
+	}
+	m := Addr{Kind: KindMagnetic, Off: 7}
+	w := Addr{Kind: KindWORM, Off: 3, Len: 100}
+	if !m.IsMagnetic() || m.IsWORM() || m.IsNil() {
+		t.Error("magnetic addr predicates wrong")
+	}
+	if !w.IsWORM() || w.IsMagnetic() {
+		t.Error("worm addr predicates wrong")
+	}
+	if m.String() != "mag:7" || w.String() != "worm:3+100" || NilAddr.String() != "<nil>" {
+		t.Errorf("String: %s %s %s", m, w, NilAddr)
+	}
+	if KindMagnetic.String() != "mag" || KindWORM.String() != "worm" || KindNone.String() != "nil" {
+		t.Error("DeviceKind.String wrong")
+	}
+}
+
+func TestMagneticAllocWriteReadFree(t *testing.T) {
+	d := NewMagneticDisk(128, CostModel{})
+	p, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(p, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q", got)
+	}
+	// Overwrite in place: the defining capability of the erasable device.
+	if err := d.Write(p, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.Read(p)
+	if string(got) != "world" {
+		t.Fatalf("after overwrite read %q", got)
+	}
+	if err := d.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(p); err == nil {
+		t.Error("read of freed page should fail")
+	}
+	if err := d.Write(p, []byte("x")); err == nil {
+		t.Error("write of freed page should fail")
+	}
+	if err := d.Free(p); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestMagneticFreeListReuse(t *testing.T) {
+	d := NewMagneticDisk(64, CostModel{})
+	p1, _ := d.Alloc()
+	p2, _ := d.Alloc()
+	if err := d.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	p3, _ := d.Alloc()
+	if p3 != p1 {
+		t.Errorf("expected freed page %d to be recycled, got %d", p1, p3)
+	}
+	st := d.Stats()
+	if st.PagesInUse != 2 || st.HighWater != 2 || st.Allocs != 3 || st.Frees != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.BytesInUse(64) != 128 {
+		t.Errorf("BytesInUse = %d", st.BytesInUse(64))
+	}
+	_ = p2
+}
+
+func TestMagneticRejectsOversizeAndBadPages(t *testing.T) {
+	d := NewMagneticDisk(16, CostModel{})
+	p, _ := d.Alloc()
+	if err := d.Write(p, make([]byte, 17)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize write: %v", err)
+	}
+	if err := d.Write(99, []byte("x")); !errors.Is(err, ErrBadPage) {
+		t.Errorf("bad page write: %v", err)
+	}
+	if _, err := d.Read(99); !errors.Is(err, ErrBadPage) {
+		t.Errorf("bad page read: %v", err)
+	}
+	// Allocated but never written.
+	p2, _ := d.Alloc()
+	if _, err := d.Read(p2); !errors.Is(err, ErrUnwritten) {
+		t.Errorf("unwritten read: %v", err)
+	}
+}
+
+func TestMagneticReadReturnsCopy(t *testing.T) {
+	d := NewMagneticDisk(32, CostModel{})
+	p, _ := d.Alloc()
+	d.Write(p, []byte("abc"))
+	got, _ := d.Read(p)
+	got[0] = 'X'
+	again, _ := d.Read(p)
+	if string(again) != "abc" {
+		t.Error("Read must return an independent copy")
+	}
+}
+
+func TestMagneticSimTimeAccumulates(t *testing.T) {
+	cost := CostModel{MagneticAccess: 10 * time.Millisecond, MagneticXfer: time.Millisecond}
+	d := NewMagneticDisk(32, cost)
+	p, _ := d.Alloc()
+	d.Write(p, []byte("a"))
+	d.Read(p)
+	if got := d.Stats().SimTime; got != 22*time.Millisecond {
+		t.Errorf("SimTime = %v, want 22ms", got)
+	}
+}
+
+func TestWORMBurnOnce(t *testing.T) {
+	d := NewWORMDisk(WORMConfig{SectorSize: 32})
+	ext, err := d.AllocExtent(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteSector(ext, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteSector(ext, []byte("again")); !errors.Is(err, ErrBurned) {
+		t.Fatalf("second burn of same sector: %v, want ErrBurned", err)
+	}
+	got, err := d.ReadSector(ext)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("ReadSector = %q, %v", got, err)
+	}
+	if !d.IsBurned(ext) || d.IsBurned(ext+1) {
+		t.Error("IsBurned wrong")
+	}
+	if _, err := d.ReadSector(ext + 1); !errors.Is(err, ErrUnwritten) {
+		t.Errorf("read of unburned sector: %v", err)
+	}
+	if err := d.WriteSector(ext+10, []byte("x")); !errors.Is(err, ErrBadPage) {
+		t.Errorf("write outside extents: %v", err)
+	}
+	if err := d.WriteSector(ext+1, make([]byte, 33)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize sector write: %v", err)
+	}
+}
+
+func TestWORMWasteAccounting(t *testing.T) {
+	d := NewWORMDisk(WORMConfig{SectorSize: 100})
+	ext, _ := d.AllocExtent(2)
+	d.WriteSector(ext, make([]byte, 10)) // wastes 90
+	d.WriteSector(ext+1, make([]byte, 100))
+	st := d.Stats()
+	if st.SectorsBurned != 2 || st.PayloadBytes != 110 || st.WastedBytes != 90 {
+		t.Errorf("stats: %+v", st)
+	}
+	if u := st.Utilization(100); u != 0.55 {
+		t.Errorf("Utilization = %v", u)
+	}
+	if st.BytesBurned(100) != 200 {
+		t.Errorf("BytesBurned = %d", st.BytesBurned(100))
+	}
+}
+
+func TestWORMAppendConsolidated(t *testing.T) {
+	d := NewWORMDisk(WORMConfig{SectorSize: 64})
+	payload := make([]byte, 150) // 3 sectors: 64+64+22
+	rand.New(rand.NewSource(1)).Read(payload)
+	addr, err := d.Append(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Kind != KindWORM || addr.Len != 150 {
+		t.Fatalf("addr = %v", addr)
+	}
+	got, err := d.ReadAt(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("ReadAt round trip mismatch")
+	}
+	st := d.Stats()
+	if st.SectorsBurned != 3 || st.PayloadBytes != 150 || st.WastedBytes != 42 {
+		t.Errorf("stats: %+v", st)
+	}
+	// Second append lands after the first.
+	addr2, _ := d.Append([]byte("tail"))
+	if addr2.Off != addr.Off+3 {
+		t.Errorf("second append at %d, want %d", addr2.Off, addr.Off+3)
+	}
+	if _, err := d.Append(nil); err == nil {
+		t.Error("empty append should fail")
+	}
+	if _, err := d.ReadAt(Addr{Kind: KindMagnetic, Off: 0}); err == nil {
+		t.Error("ReadAt with magnetic addr should fail")
+	}
+}
+
+func TestWORMAppendUtilizationNearOne(t *testing.T) {
+	// The paper's §1 claim: consolidated appends nearly fill sectors.
+	d := NewWORMDisk(WORMConfig{SectorSize: 1024})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		n := 2048 + rng.Intn(6*1024)
+		buf := make([]byte, n)
+		if _, err := d.Append(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u := d.Stats().Utilization(1024); u < 0.85 {
+		t.Errorf("consolidated append utilization = %.3f, want >= 0.85", u)
+	}
+}
+
+func TestWORMExtentThenAppendDoNotOverlap(t *testing.T) {
+	d := NewWORMDisk(WORMConfig{SectorSize: 16})
+	ext, _ := d.AllocExtent(5)
+	addr, _ := d.Append([]byte("0123456789abcdef0123"))
+	if addr.Off < ext+5 {
+		t.Errorf("append run %d overlaps extent [%d,%d)", addr.Off, ext, ext+5)
+	}
+	// Extent sectors still writable after the append.
+	if err := d.WriteSector(ext+4, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWORMLibraryMounts(t *testing.T) {
+	cost := CostModel{OpticalAccess: time.Millisecond, MountDelay: time.Second}
+	d := NewWORMDisk(WORMConfig{SectorSize: 8, Cost: cost, PlatterSectors: 4, Drives: 2})
+	// Platter 0: sectors 0-3, platter 1: 4-7, platter 2: 8-11.
+	for i := 0; i < 3; i++ {
+		if _, err := d.Append(make([]byte, 32)); err != nil { // 4 sectors each
+			t.Fatal(err)
+		}
+	}
+	base := d.Stats().Mounts // appends themselves may mount
+	d.ReadSector(0)          // mount platter 0
+	d.ReadSector(4)          // mount platter 1
+	d.ReadSector(1)          // platter 0 still mounted
+	m := d.Stats().Mounts
+	if m-base != 2 {
+		t.Fatalf("mounts after warm reads = %d, want 2", m-base)
+	}
+	d.ReadSector(8) // evicts LRU (platter 1? order: 0 refreshed by sector1 read, so evict 1)
+	d.ReadSector(0) // still mounted
+	d.ReadSector(4) // remounts platter 1
+	m2 := d.Stats().Mounts
+	if m2-m != 2 {
+		t.Fatalf("mounts after eviction cycle = %d, want 2", m2-m)
+	}
+	if d.Stats().SimTime < 4*time.Second {
+		t.Errorf("SimTime %v should include mount delays", d.Stats().SimTime)
+	}
+}
+
+func TestWORMAllocExtentRejectsNonPositive(t *testing.T) {
+	d := NewWORMDisk(WORMConfig{SectorSize: 8})
+	if _, err := d.AllocExtent(0); err == nil {
+		t.Error("zero extent should fail")
+	}
+	if _, err := d.AllocExtent(-1); err == nil {
+		t.Error("negative extent should fail")
+	}
+}
+
+func TestDefaultCostModelShape(t *testing.T) {
+	c := DefaultCostModel()
+	if c.OpticalAccess != 3*c.MagneticAccess {
+		t.Errorf("optical access %v should be 3x magnetic %v", c.OpticalAccess, c.MagneticAccess)
+	}
+	if c.MountDelay != 20*time.Second {
+		t.Errorf("mount delay %v, want 20s (paper §1)", c.MountDelay)
+	}
+}
+
+func TestConcurrentDeviceAccess(t *testing.T) {
+	mag := NewMagneticDisk(64, CostModel{})
+	worm := NewWORMDisk(WORMConfig{SectorSize: 64})
+	done := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var err error
+			for i := 0; i < 100 && err == nil; i++ {
+				var p uint64
+				if p, err = mag.Alloc(); err == nil {
+					err = mag.Write(p, []byte("data"))
+				}
+				if err == nil {
+					_, err = mag.Read(p)
+				}
+			}
+			done <- err
+		}()
+		go func() {
+			var err error
+			for i := 0; i < 100 && err == nil; i++ {
+				var a Addr
+				if a, err = worm.Append([]byte("payload")); err == nil {
+					_, err = worm.ReadAt(a)
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mag.Stats().PagesInUse != 400 {
+		t.Errorf("PagesInUse = %d", mag.Stats().PagesInUse)
+	}
+	if worm.Stats().Appends != 400 {
+		t.Errorf("Appends = %d", worm.Stats().Appends)
+	}
+}
+
+func TestNewDevicePanicsOnBadConfig(t *testing.T) {
+	for name, f := range map[string]func(){
+		"magnetic": func() { NewMagneticDisk(0, CostModel{}) },
+		"worm":     func() { NewWORMDisk(WORMConfig{SectorSize: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,360 @@
+// Package txn provides the transaction support of §4 of the paper on top
+// of the TSB-tree:
+//
+//   - records created by uncommitted transactions carry no timestamp, so
+//     they are never written to the historical database during a time
+//     split and can always be erased on abort;
+//   - commit posts the transaction's commit time onto its pending
+//     versions, in commit-time order (rollback-database semantics);
+//   - read-only transactions are given a timestamp when initiated and read
+//     versioned data without any logical record locks (§4.1): they never
+//     wait for an updater, and no updater can later commit at or before
+//     the reader's timestamp.
+//
+// Updaters use a no-wait lock table: a conflicting write fails immediately
+// with ErrLockConflict, which makes the protocol trivially deadlock-free.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/record"
+)
+
+// Store is the versioned store a Manager coordinates. *core.Tree satisfies
+// it.
+type Store interface {
+	Insert(v record.Version) error
+	CommitKey(k record.Key, txnID uint64, commitTime record.Timestamp) error
+	AbortKey(k record.Key, txnID uint64) error
+	GetPending(k record.Key, txnID uint64) (record.Version, bool, error)
+	Get(k record.Key) (record.Version, bool, error)
+	GetAsOf(k record.Key, at record.Timestamp) (record.Version, bool, error)
+	ScanAsOf(at record.Timestamp, low record.Key, high record.Bound) ([]record.Version, error)
+	History(k record.Key) ([]record.Version, error)
+	ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error)
+}
+
+// Errors returned by the transaction layer.
+var (
+	// ErrLockConflict is returned when a write hits a key locked by
+	// another transaction (no-wait policy).
+	ErrLockConflict = errors.New("txn: key locked by another transaction")
+	// ErrDone is returned when a finished transaction is used again.
+	ErrDone = errors.New("txn: transaction already committed or aborted")
+)
+
+// Stats counts transaction outcomes.
+type Stats struct {
+	Begun     uint64
+	Committed uint64
+	Aborted   uint64
+	Readers   uint64
+	Conflicts uint64
+}
+
+// CommitHook is invoked under the manager's lock for every key a
+// transaction commits, after the version is stamped. The db layer uses it
+// to maintain secondary indexes. old is the previously committed version
+// (ok=false if none); new is the just-committed version.
+type CommitHook func(commitTime record.Timestamp, oldV record.Version, oldOK bool, newV record.Version) error
+
+// Manager issues transaction ids and commit timestamps, serializes access
+// to the store, and holds the updater lock table. It is safe for
+// concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	store  Store
+	clock  record.Timestamp
+	nextID uint64
+	locks  map[string]uint64 // key -> txn id holding the write lock
+	stats  Stats
+	hook   CommitHook
+}
+
+// NewManager returns a Manager over store. The clock starts at startTime
+// (use the store's largest committed timestamp when re-opening).
+func NewManager(store Store, startTime record.Timestamp) *Manager {
+	return &Manager{
+		store:  store,
+		clock:  startTime,
+		locks:  make(map[string]uint64),
+		nextID: 1,
+	}
+}
+
+// SetCommitHook installs the per-key commit callback.
+func (m *Manager) SetCommitHook(h CommitHook) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hook = h
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Now returns the last issued commit timestamp.
+func (m *Manager) Now() record.Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// Txn is an updating transaction.
+type Txn struct {
+	m      *Manager
+	id     uint64
+	writes map[string]record.Key
+	done   bool
+}
+
+// Begin starts an updating transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	m.stats.Begun++
+	return &Txn{m: m, id: m.nextID, writes: make(map[string]record.Key)}
+}
+
+// ID returns the transaction's id.
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) lockAndWrite(v record.Version) error {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	ks := string(v.Key)
+	if holder, held := m.locks[ks]; held && holder != t.id {
+		m.stats.Conflicts++
+		return fmt.Errorf("%w: key %s held by txn %d", ErrLockConflict, v.Key, holder)
+	}
+	if err := m.store.Insert(v); err != nil {
+		return err
+	}
+	m.locks[ks] = t.id
+	t.writes[ks] = v.Key
+	return nil
+}
+
+// Put writes a pending (untimestamped) version of key k.
+func (t *Txn) Put(k record.Key, val []byte) error {
+	return t.lockAndWrite(record.Version{
+		Key: k.Clone(), Time: record.TimePending, TxnID: t.id,
+		Value: append([]byte(nil), val...),
+	})
+}
+
+// Delete writes a pending tombstone for key k.
+func (t *Txn) Delete(k record.Key) error {
+	return t.lockAndWrite(record.Version{
+		Key: k.Clone(), Time: record.TimePending, TxnID: t.id, Tombstone: true,
+	})
+}
+
+// Get returns the transaction's own pending write of k if it has one,
+// otherwise the most recently committed version.
+func (t *Txn) Get(k record.Key) (record.Version, bool, error) {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return record.Version{}, false, ErrDone
+	}
+	if _, wrote := t.writes[string(k)]; wrote {
+		v, ok, err := m.store.GetPending(k, t.id)
+		if err != nil || !ok {
+			return record.Version{}, false, err
+		}
+		if v.Tombstone {
+			return record.Version{}, false, nil
+		}
+		return v, true, nil
+	}
+	v, ok, err := m.store.Get(k)
+	if err != nil || !ok {
+		return record.Version{}, false, err
+	}
+	return v, true, nil
+}
+
+// sortedWrites returns the write set in key order, for deterministic
+// commit application.
+func (t *Txn) sortedWrites() []record.Key {
+	out := make([]record.Key, 0, len(t.writes))
+	for _, k := range t.writes {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Commit assigns the transaction its commit timestamp and stamps every
+// pending version with it. All of a transaction's versions carry the same
+// commit time.
+func (t *Txn) Commit() error {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		m.stats.Committed++
+		return nil
+	}
+	commitTime := m.clock + 1
+	for _, k := range t.sortedWrites() {
+		var oldV record.Version
+		var oldOK bool
+		var err error
+		if m.hook != nil {
+			oldV, oldOK, err = m.store.Get(k)
+			if err != nil {
+				return fmt.Errorf("txn: commit of %s: %w", k, err)
+			}
+		}
+		if err := m.store.CommitKey(k, t.id, commitTime); err != nil {
+			return fmt.Errorf("txn: commit of %s: %w", k, err)
+		}
+		if m.hook != nil {
+			newV, ok, err := m.store.GetAsOf(k, commitTime)
+			if err != nil {
+				return fmt.Errorf("txn: commit hook of %s: %w", k, err)
+			}
+			if !ok {
+				// The committed version is a tombstone; rebuild it
+				// for the hook.
+				newV = record.Version{Key: k, Time: commitTime, Tombstone: true}
+			}
+			if err := m.hook(commitTime, oldV, oldOK, newV); err != nil {
+				return fmt.Errorf("txn: commit hook of %s: %w", k, err)
+			}
+		}
+		delete(m.locks, string(k))
+	}
+	m.clock = commitTime
+	m.stats.Committed++
+	return nil
+}
+
+// Abort erases the transaction's pending versions. Aborting is always
+// possible because uncommitted data never reaches the write-once device.
+func (t *Txn) Abort() error {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	for _, k := range t.sortedWrites() {
+		if err := m.store.AbortKey(k, t.id); err != nil {
+			return fmt.Errorf("txn: abort of %s: %w", k, err)
+		}
+		delete(m.locks, string(k))
+	}
+	m.stats.Aborted++
+	return nil
+}
+
+// ReadTxn is a read-only transaction: a frozen timestamp, no locks.
+type ReadTxn struct {
+	m  *Manager
+	at record.Timestamp
+}
+
+// ReadOnly starts a read-only transaction with a timestamp issued at
+// initiation (§4.1). It sees exactly the versions committed at or before
+// that time — never a pending version — and acquires no locks.
+func (m *Manager) ReadOnly() *ReadTxn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Readers++
+	return &ReadTxn{m: m, at: m.clock}
+}
+
+// ReadAt returns a read-only transaction pinned to an arbitrary past
+// timestamp — the rollback-database time-travel path.
+func (m *Manager) ReadAt(at record.Timestamp) *ReadTxn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Readers++
+	return &ReadTxn{m: m, at: at}
+}
+
+// History returns the full committed version history of key k.
+func (m *Manager) History(k record.Key) ([]record.Version, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.History(k)
+}
+
+// ScanRange returns the versions of keys in [low, high) valid at any
+// moment in the time window [from, to): the general temporal range query.
+func (m *Manager) ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.ScanRange(low, high, from, to)
+}
+
+// Differ is implemented by stores that support time-travel diffs
+// (*core.Tree does).
+type Differ interface {
+	Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error)
+}
+
+// Diff reports the keys whose visible state differs between two times.
+// It fails if the underlying store does not support diffs.
+func (m *Manager) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	differ, ok := m.store.(Differ)
+	if !ok {
+		return nil, fmt.Errorf("txn: store %T does not support Diff", m.store)
+	}
+	return differ.Diff(low, high, from, to)
+}
+
+// Timestamp returns the reader's snapshot time.
+func (r *ReadTxn) Timestamp() record.Timestamp { return r.at }
+
+// Get returns the version of k valid at the reader's timestamp.
+func (r *ReadTxn) Get(k record.Key) (record.Version, bool, error) {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	return r.m.store.GetAsOf(k, r.at)
+}
+
+// Scan returns the snapshot of [low, high) at the reader's timestamp —
+// the lock-free backup/unload path of §4.1.
+func (r *ReadTxn) Scan(low record.Key, high record.Bound) ([]record.Version, error) {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	return r.m.store.ScanAsOf(r.at, low, high)
+}
+
+// Update runs fn inside a transaction, committing on success and aborting
+// on error.
+func (m *Manager) Update(fn func(*Txn) error) error {
+	t := m.Begin()
+	if err := fn(t); err != nil {
+		if aerr := t.Abort(); aerr != nil {
+			return errors.Join(err, aerr)
+		}
+		return err
+	}
+	return t.Commit()
+}

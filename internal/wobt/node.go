@@ -1,0 +1,259 @@
+// Package wobt implements Malcolm Easton's Write-Once B-tree as described
+// in §2 of Lomet & Salzberg (SIGMOD 1989): the baseline the Time-Split
+// B-tree improves on. The entire structure — data, index, and roots — lives
+// on a write-once device.
+//
+// A node is a fixed extent of consecutive WORM sectors. Node contents are
+// in insertion order: each incremental insertion burns one whole sector
+// holding a single item (the sector is the smallest writable unit), while
+// node splits write consolidated sectors packed with the copied items
+// (§2.1). The same key may appear several times in a node; the last
+// occurrence is the most recent (§2.2). Splits are by key value *and
+// current time*, or by current time alone, and the old node always remains
+// in place — the WOBT is a DAG, not a tree (§2.3).
+package wobt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// item is one slot of a WOBT node: either a version record (leaf) or an
+// index entry (key, timestamp, child pointer). Exactly one of version/child
+// is meaningful, selected by the node kind.
+type item struct {
+	version record.Version // leaf item
+	key     record.Key     // index item: separator key (nil = minus infinity)
+	time    record.Timestamp
+	child   storage.Addr
+}
+
+const (
+	kindLeaf  = 0
+	kindIndex = 1
+)
+
+// node is the in-memory view of a WOBT node, assembled by reading the
+// burned sectors of its extent in order.
+type node struct {
+	addr        storage.Addr // Off = first sector, Len = sector count
+	kind        byte
+	back        storage.Addr // node this one was split from (§2.5 backpointers)
+	items       []item       // insertion order
+	sectorsUsed int          // burned sectors in the extent
+}
+
+func (n *node) isLeaf() bool { return n.kind == kindLeaf }
+
+// freeSectors returns how many unburned sectors remain in the extent.
+func (n *node) freeSectors() int { return int(n.addr.Len) - n.sectorsUsed }
+
+// encodeSector serializes a batch of items into one sector payload.
+// The first sector of a node additionally carries the node kind and the
+// backpointer; subsequent sectors carry only their items (their kind byte
+// is repeated for self-description).
+func encodeSector(kind byte, first bool, back storage.Addr, items []item) []byte {
+	e := record.NewEncoder(nil)
+	e.Byte(kind)
+	e.Bool(first)
+	if first {
+		e.Byte(byte(back.Kind))
+		e.Uvarint(back.Off)
+		e.Uvarint(uint64(back.Len))
+	}
+	e.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		if kind == kindLeaf {
+			e.Version(it.version)
+		} else {
+			e.Key(it.key)
+			e.Time(it.time)
+			e.Byte(byte(it.child.Kind))
+			e.Uvarint(it.child.Off)
+			e.Uvarint(uint64(it.child.Len))
+		}
+	}
+	return e.Bytes()
+}
+
+// decodeSector parses one sector payload, returning its items and, for a
+// first sector, the node kind and backpointer.
+func decodeSector(data []byte) (kind byte, first bool, back storage.Addr, items []item, err error) {
+	d := record.NewDecoder(data)
+	kind = d.Byte()
+	first = d.Bool()
+	if first {
+		back.Kind = storage.DeviceKind(d.Byte())
+		back.Off = d.Uvarint()
+		back.Len = uint32(d.Uvarint())
+	}
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		var it item
+		if kind == kindLeaf {
+			it.version = d.Version()
+		} else {
+			it.key = d.Key()
+			it.time = d.Time()
+			it.child.Kind = storage.DeviceKind(d.Byte())
+			it.child.Off = d.Uvarint()
+			it.child.Len = uint32(d.Uvarint())
+		}
+		items = append(items, it)
+	}
+	if d.Err() != nil {
+		return 0, false, storage.NilAddr, nil, d.Err()
+	}
+	return kind, first, back, items, nil
+}
+
+// itemSize returns the encoded size of a single item (excluding the sector
+// header), used when packing consolidated sectors.
+func itemSize(kind byte, it item) int {
+	e := record.NewEncoder(nil)
+	if kind == kindLeaf {
+		e.Version(it.version)
+	} else {
+		e.Key(it.key)
+		e.Time(it.time)
+		e.Byte(byte(it.child.Kind))
+		e.Uvarint(it.child.Off)
+		e.Uvarint(uint64(it.child.Len))
+	}
+	return e.Len()
+}
+
+// sectorHeaderSize is a conservative bound on the per-sector header
+// (kind + first flag + backpointer + count).
+const sectorHeaderSize = 1 + 1 + 1 + 10 + 5 + 5
+
+// readNode assembles the in-memory view of the node at addr.
+func (t *Tree) readNode(addr storage.Addr) (*node, error) {
+	n := &node{addr: addr}
+	for i := uint64(0); i < uint64(addr.Len); i++ {
+		s := addr.Off + i
+		if !t.worm.IsBurned(s) {
+			break
+		}
+		data, err := t.worm.ReadSector(s)
+		if err != nil {
+			return nil, err
+		}
+		kind, first, back, items, err := decodeSector(data)
+		if err != nil {
+			return nil, fmt.Errorf("wobt: node %s sector %d: %w", addr, s, err)
+		}
+		if i == 0 {
+			if !first {
+				return nil, fmt.Errorf("wobt: node %s: missing first-sector header", addr)
+			}
+			n.kind = kind
+			n.back = back
+		}
+		n.items = append(n.items, items...)
+		n.sectorsUsed++
+	}
+	if n.sectorsUsed == 0 {
+		// A freshly allocated, never-written node (only the initial
+		// root can be in this state): an empty leaf.
+		n.kind = kindLeaf
+	}
+	return n, nil
+}
+
+// appendItem burns one incremental item into the node's next free sector.
+// This is the paper's "exactly one newly inserted record in a sector"
+// behaviour (§2.1): incremental writes cannot share sectors.
+func (t *Tree) appendItem(n *node, it item) error {
+	if n.freeSectors() < 1 {
+		return fmt.Errorf("wobt: node %s full", n.addr)
+	}
+	first := n.sectorsUsed == 0
+	data := encodeSector(n.kind, first, n.back, []item{it})
+	if len(data) > t.worm.SectorSize() {
+		return fmt.Errorf("wobt: item of %d bytes exceeds sector size %d",
+			len(data), t.worm.SectorSize())
+	}
+	s := n.addr.Off + uint64(n.sectorsUsed)
+	if err := t.worm.WriteSector(s, data); err != nil {
+		return err
+	}
+	n.items = append(n.items, it)
+	n.sectorsUsed++
+	return nil
+}
+
+// writeConsolidated allocates a fresh extent and burns items into it packed
+// as tightly as the sector size permits (§2.1: "when nodes are split,
+// several records will be copied into the new nodes at the same time, so
+// the copied-over records can be consolidated"). It returns the new node.
+func (t *Tree) writeConsolidated(kind byte, back storage.Addr, items []item) (*node, error) {
+	first, err := t.worm.AllocExtent(t.nodeSectors)
+	if err != nil {
+		return nil, err
+	}
+	addr := storage.Addr{Kind: storage.KindWORM, Off: first, Len: uint32(t.nodeSectors)}
+	n := &node{addr: addr, kind: kind, back: back}
+	sectorCap := t.worm.SectorSize() - sectorHeaderSize
+
+	i := 0
+	for i < len(items) {
+		batch := []item{items[i]}
+		size := itemSize(kind, items[i])
+		i++
+		for i < len(items) {
+			s := itemSize(kind, items[i])
+			if size+s > sectorCap {
+				break
+			}
+			batch = append(batch, items[i])
+			size += s
+			i++
+		}
+		if n.freeSectors() < 1 {
+			return nil, fmt.Errorf("wobt: consolidated items overflow node of %d sectors", t.nodeSectors)
+		}
+		data := encodeSector(kind, n.sectorsUsed == 0, back, batch)
+		if err := t.worm.WriteSector(addr.Off+uint64(n.sectorsUsed), data); err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, batch...)
+		n.sectorsUsed++
+	}
+	if n.sectorsUsed == 0 {
+		// An empty consolidated node still needs its header sector so
+		// readers learn its kind and backpointer.
+		data := encodeSector(kind, true, back, nil)
+		if err := t.worm.WriteSector(addr.Off, data); err != nil {
+			return nil, err
+		}
+		n.sectorsUsed = 1
+	}
+	return n, nil
+}
+
+// dump renders the node for figures and debugging: items in insertion
+// order, separated by " | " as in the paper's drawings.
+func (n *node) dump() string {
+	var b strings.Builder
+	if n.isLeaf() {
+		b.WriteString("leaf[")
+	} else {
+		b.WriteString("index[")
+	}
+	for i, it := range n.items {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		if n.isLeaf() {
+			b.WriteString(it.version.String())
+		} else {
+			fmt.Fprintf(&b, "%s T=%s -> %s", it.key, it.time, it.child)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package wobt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// TestAsOfAcrossRootGenerations checks §2.5's claim that the search path
+// "may take us through successively older roots, but this is handled by
+// the search algorithm without making special cases": queries at old
+// timestamps resolve even after several root splits.
+func TestAsOfAcrossRootGenerations(t *testing.T) {
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	ts := uint64(0)
+	// Phase 1: a first generation of keys.
+	for i := 0; i < 30; i++ {
+		ts++
+		mustInsert(t, tree, fmt.Sprintf("g1-%02d", i), ts, fmt.Sprintf("first%d", i))
+	}
+	gen1End := ts
+	// Phase 2: update everything repeatedly, forcing more root splits.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 30; i++ {
+			ts++
+			mustInsert(t, tree, fmt.Sprintf("g1-%02d", i), ts, fmt.Sprintf("r%d-%d", round, i))
+		}
+	}
+	if len(tree.Roots()) < 3 {
+		t.Fatalf("want several root generations, got %d", len(tree.Roots()))
+	}
+	// Queries at the first generation's times go through old roots.
+	for i := 0; i < 30; i++ {
+		k := record.StringKey(fmt.Sprintf("g1-%02d", i))
+		v, ok, err := tree.GetAsOf(k, record.Timestamp(gen1End))
+		if err != nil || !ok {
+			t.Fatalf("GetAsOf(%s, gen1) = %v, %v", k, ok, err)
+		}
+		if string(v.Value) != fmt.Sprintf("first%d", i) {
+			t.Fatalf("GetAsOf(%s) = %s, want first%d", k, v.Value, i)
+		}
+	}
+	// And current queries see the last round.
+	for i := 0; i < 30; i++ {
+		k := record.StringKey(fmt.Sprintf("g1-%02d", i))
+		v, ok, _ := tree.Get(k)
+		if !ok || string(v.Value) != fmt.Sprintf("r4-%d", i) {
+			t.Fatalf("Get(%s) = %v %v", k, v, ok)
+		}
+	}
+	// Snapshot at gen-1 end equals the first generation exactly.
+	vs, err := tree.ScanAsOf(record.Timestamp(gen1End), nil, record.InfiniteBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 30 {
+		t.Fatalf("gen1 snapshot size = %d", len(vs))
+	}
+}
+
+// TestTimeSplitMaxFraction verifies the split-policy knob: a higher
+// threshold yields more pure time splits.
+func TestTimeSplitMaxFraction(t *testing.T) {
+	run := func(frac float64) Stats {
+		tree, _ := newTree(t, Config{NodeSectors: 4, TimeSplitMaxFraction: frac})
+		ts := uint64(0)
+		for i := 0; i < 300; i++ {
+			ts++
+			mustInsert(t, tree, fmt.Sprintf("k%02d", i%25), ts, "v")
+		}
+		return tree.Stats()
+	}
+	low := run(0.25)
+	high := run(0.9)
+	if high.TimeSplits <= low.TimeSplits {
+		t.Errorf("higher threshold should time split more: %d (0.9) vs %d (0.25)",
+			high.TimeSplits, low.TimeSplits)
+	}
+	if high.KeySplits >= low.KeySplits {
+		t.Errorf("higher threshold should key split less: %d (0.9) vs %d (0.25)",
+			high.KeySplits, low.KeySplits)
+	}
+}
+
+// TestWOBTChurnKeepsAllHistory is a long-running WOBT soak: nothing is
+// ever lost, the defining property of a non-deletion store.
+func TestWOBTChurnKeepsAllHistory(t *testing.T) {
+	tree, worm := newTree(t, Config{NodeSectors: 8})
+	ts := uint64(0)
+	versionsOf := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		ts++
+		k := fmt.Sprintf("k%02d", i%40)
+		mustInsert(t, tree, k, ts, fmt.Sprintf("v%d", ts))
+		versionsOf[k]++
+	}
+	for k, want := range versionsOf {
+		h, err := tree.History(record.StringKey(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h) != want {
+			t.Fatalf("History(%s) = %d versions, want %d", k, len(h), want)
+		}
+	}
+	if worm.Stats().SectorsBurned == 0 {
+		t.Fatal("soak burned nothing?")
+	}
+}

@@ -1,0 +1,218 @@
+package wobt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// Get returns the most recent version of key k (§2.2). The boolean is
+// false if the key was never inserted or its latest version is a tombstone.
+func (t *Tree) Get(k record.Key) (record.Version, bool, error) {
+	return t.GetAsOf(k, record.TimeInfinity)
+}
+
+// GetAsOf returns the version of key k valid at time T (§2.5): the last
+// version of k with timestamp at most T, found along a single root-to-leaf
+// path that ignores all entries with timestamps greater than T.
+func (t *Tree) GetAsOf(k record.Key, T record.Timestamp) (record.Version, bool, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return record.Version{}, false, err
+	}
+	for !n.isLeaf() {
+		idx := routeAsOf(n, k, T)
+		if idx < 0 {
+			return record.Version{}, false, nil
+		}
+		if n, err = t.readNode(n.items[idx].child); err != nil {
+			return record.Version{}, false, err
+		}
+	}
+	var found record.Version
+	ok := false
+	for _, it := range n.items {
+		if it.version.Key.Equal(k) && it.version.Time <= T {
+			found = it.version // insertion order: later wins
+			ok = true
+		}
+	}
+	if !ok || found.Tombstone {
+		return record.Version{}, false, nil
+	}
+	return found, true, nil
+}
+
+// ScanAsOf returns the snapshot of the database as of time T, restricted
+// to keys in [low, high), sorted by key (§2.5: "obtain the last entries in
+// each index node for each key before or at T, and finally, the last
+// copies of each record before or at T").
+func (t *Tree) ScanAsOf(T record.Timestamp, low record.Key, high record.Bound) ([]record.Version, error) {
+	best := make(map[string]record.Version)
+	visited := make(map[storage.Addr]bool)
+	var visit func(addr storage.Addr) error
+	visit = func(addr storage.Addr) error {
+		if visited[addr] {
+			return nil
+		}
+		visited[addr] = true
+		n, err := t.readNode(addr)
+		if err != nil {
+			return err
+		}
+		if n.isLeaf() {
+			for _, it := range n.items {
+				v := it.version
+				if v.Time > T {
+					continue
+				}
+				if v.Key.Compare(low) < 0 || high.CompareKey(v.Key) <= 0 {
+					continue
+				}
+				if prev, ok := best[string(v.Key)]; !ok || v.Time >= prev.Time {
+					best[string(v.Key)] = v
+				}
+			}
+			return nil
+		}
+		// Last entry per separator key with timestamp <= T.
+		last := make(map[string]item)
+		for _, it := range n.items {
+			if it.time <= T {
+				last[string(it.key)] = it
+			}
+		}
+		for _, it := range last {
+			if err := visit(it.child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(t.root); err != nil {
+		return nil, err
+	}
+	out := make([]record.Version, 0, len(best))
+	for _, v := range best {
+		if !v.Tombstone {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return out, nil
+}
+
+// History returns every version of key k, oldest first, by following the
+// backward pointers from the current leaf through the nodes it was split
+// from (§2.5). Tombstone versions are included: the caller sees the full
+// non-deleted history of the record.
+func (t *Tree) History(k record.Key) ([]record.Version, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.isLeaf() {
+		idx := routeCurrent(n, k)
+		if idx < 0 {
+			return nil, nil
+		}
+		if n, err = t.readNode(n.items[idx].child); err != nil {
+			return nil, err
+		}
+	}
+	seen := make(map[record.Timestamp]bool)
+	var out []record.Version
+	for {
+		for _, it := range n.items {
+			v := it.version
+			if v.Key.Equal(k) && !seen[v.Time] {
+				seen[v.Time] = true
+				out = append(out, v)
+			}
+		}
+		if n.back.IsNil() {
+			break
+		}
+		if n, err = t.readNode(n.back); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// Dump renders the whole tree, one node per line with indentation, for the
+// figure reproductions and debugging. Shared (historical) nodes reached by
+// more than one parent are printed each time they are reached; the WOBT is
+// a DAG (§2.3).
+func (t *Tree) Dump() (string, error) {
+	var b strings.Builder
+	var walk func(addr storage.Addr, depth int) error
+	walk = func(addr storage.Addr, depth int) error {
+		n, err := t.readNode(addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", strings.Repeat("  ", depth), addr, n.dump())
+		if n.isLeaf() {
+			return nil
+		}
+		for _, it := range n.items {
+			if err := walk(it.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// DumpNode renders a single node's items in insertion order.
+func (t *Tree) DumpNode(addr storage.Addr) (string, error) {
+	n, err := t.readNode(addr)
+	if err != nil {
+		return "", err
+	}
+	return n.dump(), nil
+}
+
+// NodeItems returns printable item strings of the node at addr, in
+// insertion order — used by golden tests for the paper's figures.
+func (t *Tree) NodeItems(addr storage.Addr) ([]string, error) {
+	n, err := t.readNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(n.items))
+	for i, it := range n.items {
+		if n.isLeaf() {
+			out[i] = it.version.String()
+		} else {
+			out[i] = fmt.Sprintf("%s T=%s -> %s", it.key, it.time, it.child)
+		}
+	}
+	return out, nil
+}
+
+// Children returns the child addresses of the index node at addr, in
+// insertion order (duplicates preserved).
+func (t *Tree) Children(addr storage.Addr) ([]storage.Addr, error) {
+	n, err := t.readNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	if n.isLeaf() {
+		return nil, nil
+	}
+	out := make([]storage.Addr, len(n.items))
+	for i, it := range n.items {
+		out[i] = it.child
+	}
+	return out, nil
+}

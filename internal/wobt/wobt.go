@@ -1,0 +1,402 @@
+package wobt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// Config parameterizes a Write-Once B-tree.
+type Config struct {
+	// NodeSectors is the fixed extent size of every node, in sectors.
+	// Must be at least 4 so consolidated split output (at most half a
+	// node) always leaves room for subsequent incremental insertions.
+	NodeSectors int
+	// TimeSplitMaxFraction chooses between the two split forms of §2.3:
+	// if the consolidated current versions of an overflowing node fit in
+	// at most this fraction of a node, the split is by current time only
+	// (one new node); otherwise it is by key value and current time (two
+	// new nodes). Defaults to 0.5.
+	TimeSplitMaxFraction float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.NodeSectors == 0 {
+		out.NodeSectors = 8
+	}
+	if out.NodeSectors < 4 {
+		panic("wobt: NodeSectors must be >= 4")
+	}
+	if out.TimeSplitMaxFraction == 0 {
+		out.TimeSplitMaxFraction = 0.5
+	}
+	return out
+}
+
+// Stats counts the structural events of a WOBT's life. ItemsCopied is the
+// redundancy measure: every consolidated item is a copy of data that
+// already exists elsewhere on the write-once device ("records are repeated
+// or copied several times. A version which lasts a long time has many
+// copies in the database", §2.3).
+type Stats struct {
+	Inserts      uint64
+	TimeSplits   uint64
+	KeySplits    uint64
+	RootSplits   uint64
+	LeafCopies   uint64 // leaf versions rewritten by consolidation
+	IndexCopies  uint64 // index entries rewritten by consolidation
+	NodesCreated uint64
+}
+
+// Tree is a Write-Once B-tree over a simulated WORM device. It provides
+// single-version B+-tree functionality on write-once storage plus the
+// rollback-database queries of §2.5: current lookup, as-of lookup, snapshot
+// scan, and full version history. It is not safe for concurrent use.
+type Tree struct {
+	worm        *storage.WORMDisk
+	nodeSectors int
+	timeFrac    float64
+
+	root  storage.Addr
+	roots []storage.Addr // list of successive root addresses (§2.4)
+	now   record.Timestamp
+
+	stats Stats
+}
+
+// New creates an empty WOBT on worm.
+func New(worm *storage.WORMDisk, cfg Config) (*Tree, error) {
+	c := cfg.withDefaults()
+	t := &Tree{worm: worm, nodeSectors: c.NodeSectors, timeFrac: c.TimeSplitMaxFraction}
+	first, err := worm.AllocExtent(t.nodeSectors)
+	if err != nil {
+		return nil, err
+	}
+	t.root = storage.Addr{Kind: storage.KindWORM, Off: first, Len: uint32(t.nodeSectors)}
+	t.roots = []storage.Addr{t.root}
+	t.stats.NodesCreated++
+	return t, nil
+}
+
+// Root returns the address of the current root node.
+func (t *Tree) Root() storage.Addr { return t.root }
+
+// Roots returns the successive root addresses, oldest first (§2.4: "a list
+// of successive addresses for the root nodes must also be kept").
+func (t *Tree) Roots() []storage.Addr {
+	out := make([]storage.Addr, len(t.roots))
+	copy(out, t.roots)
+	return out
+}
+
+// Now returns the largest timestamp the tree has seen.
+func (t *Tree) Now() record.Timestamp { return t.now }
+
+// Stats returns a snapshot of the structural counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Insert adds a version to the tree. The version's timestamp must be a
+// commit time no earlier than any previously inserted timestamp (rollback
+// databases append in commit order). An update is an insertion of a new
+// version under the same key; a delete is an insertion of a tombstone.
+func (t *Tree) Insert(v record.Version) error {
+	if !v.Time.IsCommitted() {
+		return fmt.Errorf("wobt: insert with non-committed timestamp %s", v.Time)
+	}
+	if v.Time < t.now {
+		return fmt.Errorf("wobt: timestamp %s before current time %s", v.Time, t.now)
+	}
+	t.now = v.Time
+
+	root, err := t.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	// Ensure the root can absorb postings from a child split (2 sectors)
+	// or, if it is a leaf, the incoming record (1 sector).
+	need := 2
+	if root.isLeaf() {
+		need = 1
+	}
+	if root.freeSectors() < need {
+		if err := t.splitRoot(root); err != nil {
+			return err
+		}
+		if root, err = t.readNode(t.root); err != nil {
+			return err
+		}
+	}
+
+	n := root
+	for !n.isLeaf() {
+		idx := routeCurrent(n, v.Key)
+		child, err := t.readNode(n.items[idx].child)
+		if err != nil {
+			return err
+		}
+		need := 2
+		if child.isLeaf() {
+			need = 1
+		}
+		if child.freeSectors() < need {
+			// Split the child before descending; n is guaranteed
+			// to have room for the resulting postings.
+			if err := t.splitChild(child, n.items[idx].key, n); err != nil {
+				return err
+			}
+			idx = routeCurrent(n, v.Key)
+			if child, err = t.readNode(n.items[idx].child); err != nil {
+				return err
+			}
+		}
+		n = child
+	}
+	if err := t.appendItem(n, item{version: v}); err != nil {
+		return err
+	}
+	t.stats.Inserts++
+	return nil
+}
+
+// routeCurrent picks the index item to follow for a current search of key
+// k: the last-listed item among those with the largest key not exceeding k
+// (§2.2). It returns the item's position in insertion order.
+func routeCurrent(n *node, k record.Key) int {
+	best := -1
+	for i, it := range n.items {
+		if it.key.Compare(k) > 0 {
+			continue
+		}
+		if best == -1 || cmpRouting(it.key, n.items[best].key) >= 0 {
+			// >= : equal keys prefer the later-listed item.
+			best = i
+		}
+	}
+	return best
+}
+
+// routeAsOf is routeCurrent restricted to entries with timestamps at most
+// T (§2.5: "Ignore all entries with timestamp greater than T, then follow
+// the algorithm for latest version of a record").
+func routeAsOf(n *node, k record.Key, T record.Timestamp) int {
+	best := -1
+	for i, it := range n.items {
+		if it.time > T {
+			continue
+		}
+		if it.key.Compare(k) > 0 {
+			continue
+		}
+		if best == -1 || cmpRouting(it.key, n.items[best].key) >= 0 {
+			best = i
+		}
+	}
+	return best
+}
+
+func cmpRouting(a, b record.Key) int { return a.Compare(b) }
+
+// liveLeafItems returns, for each key in the leaf, its most recent version,
+// sorted by key. Keys whose latest version is a tombstone are omitted: they
+// contribute nothing to the current database, and as-of searches for older
+// times are routed to the old node, which retains the tombstone.
+func liveLeafItems(n *node) []item {
+	last := make(map[string]item)
+	for _, it := range n.items {
+		last[string(it.version.Key)] = it
+	}
+	out := make([]item, 0, len(last))
+	for _, it := range last {
+		if !it.version.Tombstone {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].version.Key.Less(out[j].version.Key)
+	})
+	return out
+}
+
+// liveIndexItems returns, for each separator key in the index node, its
+// last-listed entry, sorted by key.
+func liveIndexItems(n *node) []item {
+	last := make(map[string]item)
+	for _, it := range n.items {
+		last[string(it.key)] = it
+	}
+	out := make([]item, 0, len(last))
+	for _, it := range last {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].key.Less(out[j].key)
+	})
+	return out
+}
+
+func (t *Tree) liveItems(n *node) []item {
+	if n.isLeaf() {
+		return liveLeafItems(n)
+	}
+	return liveIndexItems(n)
+}
+
+// sectorsNeeded simulates consolidated packing of items and returns how
+// many sectors they occupy.
+func (t *Tree) sectorsNeeded(kind byte, items []item) int {
+	if len(items) == 0 {
+		return 1 // header sector
+	}
+	sectorCap := t.worm.SectorSize() - sectorHeaderSize
+	sectors, size := 1, 0
+	for _, it := range items {
+		s := itemSize(kind, it)
+		if size+s > sectorCap && size > 0 {
+			sectors++
+			size = 0
+		}
+		size += s
+	}
+	return sectors
+}
+
+// chunk partitions the live items of an overflowing node for its split
+// (§2.3). One chunk means a split by current time only; two or more mean a
+// split by key value and current time, with each chunk becoming one new
+// node.
+//
+// The choice follows the paper: "If there have been many updates, the
+// number of current versions may be so small that we may choose to split
+// only by current time." We time split when the fraction of live items in
+// the node is at most TimeSplitMaxFraction (Figure 3 key-splits a node
+// with 3 of 4 versions current; Figure 4 time-splits a node with 2 of 4).
+// A single live key always time splits (key splitting is useless); a node
+// of all-distinct keys always key splits. Independently of the policy,
+// every chunk must leave the new node at least two free sectors so it can
+// absorb postings and insertions.
+func (t *Tree) chunk(kind byte, live []item, totalItems int) [][]item {
+	maxSectors := t.nodeSectors - 2
+	if len(live) < 2 {
+		return [][]item{live}
+	}
+	frac := float64(len(live)) / float64(totalItems)
+	if frac <= t.timeFrac && t.sectorsNeeded(kind, live) <= maxSectors {
+		return [][]item{live}
+	}
+	// Key split: cut at the median item, then enforce the byte bound on
+	// each half (splitting further only for unusually large records).
+	halves := [][]item{live[:len(live)/2], live[len(live)/2:]}
+	var chunks [][]item
+	for _, h := range halves {
+		chunks = append(chunks, t.byteBoundedChunks(kind, h, maxSectors)...)
+	}
+	return chunks
+}
+
+// byteBoundedChunks greedily cuts items so each chunk consolidates into at
+// most maxSectors sectors.
+func (t *Tree) byteBoundedChunks(kind byte, items []item, maxSectors int) [][]item {
+	if t.sectorsNeeded(kind, items) <= maxSectors {
+		return [][]item{items}
+	}
+	sectorCap := t.worm.SectorSize() - sectorHeaderSize
+	var chunks [][]item
+	var cur []item
+	sectors, size := 1, 0
+	for _, it := range items {
+		s := itemSize(kind, it)
+		if size+s > sectorCap && size > 0 {
+			sectors++
+			size = 0
+		}
+		if sectors > maxSectors && len(cur) > 0 {
+			chunks = append(chunks, cur)
+			cur = nil
+			sectors, size = 1, 0
+		}
+		cur = append(cur, it)
+		size += s
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// splitPostings writes the new node(s) for a split of n and returns the
+// index items to post to the parent. entryKey is the separator key under
+// which n is currently reached. Only the most recent versions are copied;
+// the old node remains in the database untouched (§2.3).
+func (t *Tree) splitPostings(n *node, entryKey record.Key) ([]item, error) {
+	live := t.liveItems(n)
+	chunks := t.chunk(n.kind, live, len(n.items))
+	if len(chunks) == 1 {
+		t.stats.TimeSplits++
+	} else {
+		t.stats.KeySplits++
+	}
+	postings := make([]item, 0, len(chunks))
+	for i, chunk := range chunks {
+		nn, err := t.writeConsolidated(n.kind, n.addr, chunk)
+		if err != nil {
+			return nil, err
+		}
+		t.stats.NodesCreated++
+		if n.isLeaf() {
+			t.stats.LeafCopies += uint64(len(chunk))
+		} else {
+			t.stats.IndexCopies += uint64(len(chunk))
+		}
+		key := entryKey
+		if i > 0 {
+			if n.isLeaf() {
+				key = chunk[0].version.Key
+			} else {
+				key = chunk[0].key
+			}
+		}
+		postings = append(postings, item{key: key, time: t.now, child: nn.addr})
+	}
+	return postings, nil
+}
+
+// splitChild splits a full non-root node in place, posting the new index
+// items into its parent (which is guaranteed to have room).
+func (t *Tree) splitChild(n *node, entryKey record.Key, parent *node) error {
+	postings, err := t.splitPostings(n, entryKey)
+	if err != nil {
+		return err
+	}
+	for _, p := range postings {
+		if err := t.appendItem(parent, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitRoot splits the root node. The new root's first entry has the
+// lowest key value and the lowest time value and points to the old root;
+// the remaining entries point to the consolidated new nodes (§2.4).
+func (t *Tree) splitRoot(n *node) error {
+	postings, err := t.splitPostings(n, nil)
+	if err != nil {
+		return err
+	}
+	entries := make([]item, 0, len(postings)+1)
+	entries = append(entries, item{key: nil, time: record.TimeZero, child: n.addr})
+	entries = append(entries, postings...)
+	newRoot, err := t.writeConsolidated(kindIndex, storage.NilAddr, entries)
+	if err != nil {
+		return err
+	}
+	t.stats.NodesCreated++
+	t.stats.IndexCopies += uint64(len(entries))
+	t.stats.RootSplits++
+	t.root = newRoot.addr
+	t.roots = append(t.roots, newRoot.addr)
+	return nil
+}

@@ -1,0 +1,465 @@
+package wobt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+func newTree(t *testing.T, cfg Config) (*Tree, *storage.WORMDisk) {
+	t.Helper()
+	worm := storage.NewWORMDisk(storage.WORMConfig{SectorSize: 256})
+	tree, err := New(worm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, worm
+}
+
+func mustInsert(t *testing.T, tree *Tree, key string, ts uint64, val string) {
+	t.Helper()
+	err := tree.Insert(record.Version{
+		Key:   record.StringKey(key),
+		Time:  record.Timestamp(ts),
+		Value: []byte(val),
+	})
+	if err != nil {
+		t.Fatalf("insert %s@%d: %v", key, ts, err)
+	}
+}
+
+func mustDelete(t *testing.T, tree *Tree, key string, ts uint64) {
+	t.Helper()
+	err := tree.Insert(record.Version{
+		Key:       record.StringKey(key),
+		Time:      record.Timestamp(ts),
+		Tombstone: true,
+	})
+	if err != nil {
+		t.Fatalf("delete %s@%d: %v", key, ts, err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree, _ := newTree(t, Config{})
+	if _, ok, err := tree.Get(record.StringKey("x")); err != nil || ok {
+		t.Fatalf("Get on empty tree = ok=%v err=%v", ok, err)
+	}
+	if vs, err := tree.ScanAsOf(100, nil, record.InfiniteBound()); err != nil || len(vs) != 0 {
+		t.Fatalf("ScanAsOf on empty tree = %v, %v", vs, err)
+	}
+	if h, err := tree.History(record.StringKey("x")); err != nil || len(h) != 0 {
+		t.Fatalf("History on empty tree = %v, %v", h, err)
+	}
+	if len(tree.Roots()) != 1 {
+		t.Fatalf("Roots = %v", tree.Roots())
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tree, _ := newTree(t, Config{})
+	mustInsert(t, tree, "50", 1, "Joe")
+	mustInsert(t, tree, "60", 2, "Pete")
+	v, ok, err := tree.Get(record.StringKey("50"))
+	if err != nil || !ok || string(v.Value) != "Joe" {
+		t.Fatalf("Get(50) = %v, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := tree.Get(record.StringKey("55")); ok {
+		t.Fatal("Get of absent key should miss")
+	}
+}
+
+func TestUpdateSupersedes(t *testing.T) {
+	tree, _ := newTree(t, Config{})
+	mustInsert(t, tree, "70", 1, "Mary")
+	mustInsert(t, tree, "70", 5, "Sue")
+	v, ok, _ := tree.Get(record.StringKey("70"))
+	if !ok || string(v.Value) != "Sue" || v.Time != 5 {
+		t.Fatalf("Get after update = %v, %v", v, ok)
+	}
+	// As-of queries see the stepwise-constant behaviour of Figure 1.
+	for _, c := range []struct {
+		at   uint64
+		want string
+	}{{1, "Mary"}, {4, "Mary"}, {5, "Sue"}, {100, "Sue"}} {
+		v, ok, err := tree.GetAsOf(record.StringKey("70"), record.Timestamp(c.at))
+		if err != nil || !ok || string(v.Value) != c.want {
+			t.Errorf("GetAsOf(70,%d) = %v,%v,%v want %s", c.at, v, ok, err, c.want)
+		}
+	}
+	if _, ok, _ := tree.GetAsOf(record.StringKey("70"), 0); ok {
+		t.Error("GetAsOf before first version should miss")
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	tree, _ := newTree(t, Config{})
+	mustInsert(t, tree, "a", 1, "v1")
+	mustDelete(t, tree, "a", 5)
+	if _, ok, _ := tree.Get(record.StringKey("a")); ok {
+		t.Error("Get after delete should miss")
+	}
+	if v, ok, _ := tree.GetAsOf(record.StringKey("a"), 4); !ok || string(v.Value) != "v1" {
+		t.Error("GetAsOf before delete should see the old version")
+	}
+	h, _ := tree.History(record.StringKey("a"))
+	if len(h) != 2 || !h[1].Tombstone {
+		t.Errorf("History should include tombstone: %v", h)
+	}
+}
+
+func TestInsertRejectsBadTimestamps(t *testing.T) {
+	tree, _ := newTree(t, Config{})
+	mustInsert(t, tree, "a", 10, "x")
+	if err := tree.Insert(record.Version{Key: record.StringKey("b"), Time: 5}); err == nil {
+		t.Error("timestamp regression should fail")
+	}
+	if err := tree.Insert(record.Version{Key: record.StringKey("b"), Time: record.TimePending}); err == nil {
+		t.Error("pending timestamp should fail (WOBT cannot erase)")
+	}
+	if err := tree.Insert(record.Version{Key: record.StringKey("b"), Time: record.TimeZero}); err == nil {
+		t.Error("zero timestamp should fail")
+	}
+}
+
+func TestOneRecordPerSectorIncrementalWrites(t *testing.T) {
+	// §2.1: each incremental insertion burns exactly one sector, even if
+	// the record is far smaller than the sector.
+	worm := storage.NewWORMDisk(storage.WORMConfig{SectorSize: 1024})
+	tree, err := New(worm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := worm.Stats().SectorsBurned
+	for i := 0; i < 5; i++ {
+		mustInsert(t, tree, fmt.Sprintf("k%d", i), uint64(i+1), "tiny")
+	}
+	burned := worm.Stats().SectorsBurned - before
+	if burned != 5 {
+		t.Fatalf("5 incremental inserts burned %d sectors, want 5", burned)
+	}
+	if u := worm.Stats().Utilization(1024); u > 0.10 {
+		t.Errorf("incremental utilization = %.3f, expected tiny (wasteful by design)", u)
+	}
+}
+
+func TestLeafSplitByKeyAndCurrentTime(t *testing.T) {
+	// Figure 3 scenario: a full leaf with one superseded version splits
+	// by key value and current time; only the most recent versions are
+	// copied, and the old node remains in the database.
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	mustInsert(t, tree, "50", 1, "Joe")
+	mustInsert(t, tree, "60", 2, "Pete")
+	mustInsert(t, tree, "70", 3, "Mary")
+	mustInsert(t, tree, "70", 4, "Sue")
+	oldRoot := tree.Root()
+	mustInsert(t, tree, "90", 5, "Alice") // forces the split
+	if tree.Root() == oldRoot {
+		t.Fatal("root should have split")
+	}
+	st := tree.Stats()
+	if st.KeySplits != 1 || st.TimeSplits != 0 {
+		t.Fatalf("stats = %+v, want exactly one key split", st)
+	}
+	// All five keys readable; historical version of 70 still reachable.
+	for _, c := range []struct{ k, want string }{
+		{"50", "Joe"}, {"60", "Pete"}, {"70", "Sue"}, {"90", "Alice"},
+	} {
+		v, ok, _ := tree.Get(record.StringKey(c.k))
+		if !ok || string(v.Value) != c.want {
+			t.Errorf("Get(%s) = %v,%v want %s", c.k, v, ok, c.want)
+		}
+	}
+	if v, ok, _ := tree.GetAsOf(record.StringKey("70"), 3); !ok || string(v.Value) != "Mary" {
+		t.Error("as-of search should find the superseded version in the old node")
+	}
+	// The old node is still referenced from the new root (DAG property).
+	kids, _ := tree.Children(tree.Root())
+	found := false
+	for _, c := range kids {
+		if c == oldRoot {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new root must keep a reference to the old root")
+	}
+}
+
+func TestLeafPureTimeSplit(t *testing.T) {
+	// Figure 4 scenario: a node dominated by updates of one key splits
+	// by current time only — a single new node with the current versions.
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	mustInsert(t, tree, "60", 1, "Joe")
+	mustInsert(t, tree, "60", 2, "Pete")
+	mustInsert(t, tree, "60", 4, "Mary")
+	mustInsert(t, tree, "90", 5, "Sue")
+	mustInsert(t, tree, "90", 6, "Alice")
+	st := tree.Stats()
+	if st.TimeSplits != 1 || st.KeySplits != 0 {
+		t.Fatalf("stats = %+v, want exactly one pure time split", st)
+	}
+	v, ok, _ := tree.Get(record.StringKey("60"))
+	if !ok || string(v.Value) != "Mary" {
+		t.Fatalf("Get(60) = %v,%v", v, ok)
+	}
+	v, ok, _ = tree.Get(record.StringKey("90"))
+	if !ok || string(v.Value) != "Alice" {
+		t.Fatalf("Get(90) = %v,%v", v, ok)
+	}
+	for at, want := range map[uint64]string{1: "Joe", 2: "Pete", 3: "Pete", 4: "Mary"} {
+		v, ok, _ := tree.GetAsOf(record.StringKey("60"), record.Timestamp(at))
+		if !ok || string(v.Value) != want {
+			t.Errorf("GetAsOf(60,%d) = %v,%v want %s", at, v, ok, want)
+		}
+	}
+}
+
+func TestHistoryFollowsBackpointers(t *testing.T) {
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	ts := uint64(1)
+	for i := 0; i < 20; i++ {
+		mustInsert(t, tree, "key", ts, fmt.Sprintf("v%d", i))
+		ts++
+		mustInsert(t, tree, fmt.Sprintf("other%02d", i), ts, "x")
+		ts++
+	}
+	h, err := tree.History(record.StringKey("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 20 {
+		t.Fatalf("History returned %d versions, want 20", len(h))
+	}
+	for i, v := range h {
+		if string(v.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("history[%d] = %s", i, v)
+		}
+	}
+}
+
+func TestSnapshotScan(t *testing.T) {
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	// Build: k0..k9 inserted at t=1..10, then updated at t=11..20.
+	for i := 0; i < 10; i++ {
+		mustInsert(t, tree, fmt.Sprintf("k%d", i), uint64(i+1), "old")
+	}
+	for i := 0; i < 10; i++ {
+		mustInsert(t, tree, fmt.Sprintf("k%d", i), uint64(11+i), "new")
+	}
+	// Snapshot at t=10: all keys present with "old".
+	vs, err := tree.ScanAsOf(10, nil, record.InfiniteBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 10 {
+		t.Fatalf("snapshot size = %d, want 10", len(vs))
+	}
+	for _, v := range vs {
+		if string(v.Value) != "old" {
+			t.Errorf("snapshot@10 contains %s", v)
+		}
+	}
+	// Snapshot at t=15: k0..k4 "new", k5..k9 "old".
+	vs, _ = tree.ScanAsOf(15, nil, record.InfiniteBound())
+	for _, v := range vs {
+		want := "old"
+		if v.Key.Compare(record.StringKey("k5")) < 0 {
+			want = "new"
+		}
+		if string(v.Value) != want {
+			t.Errorf("snapshot@15: %s, want %s", v, want)
+		}
+	}
+	// Range restriction.
+	vs, _ = tree.ScanAsOf(20, record.StringKey("k3"), record.KeyBound(record.StringKey("k7")))
+	if len(vs) != 4 {
+		t.Fatalf("range scan size = %d, want 4 (k3..k6)", len(vs))
+	}
+	if !vs[0].Key.Equal(record.StringKey("k3")) || !vs[3].Key.Equal(record.StringKey("k6")) {
+		t.Errorf("range scan bounds wrong: %v .. %v", vs[0].Key, vs[3].Key)
+	}
+}
+
+func TestRootChainGrowth(t *testing.T) {
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	for i := 0; i < 200; i++ {
+		mustInsert(t, tree, fmt.Sprintf("key%03d", i), uint64(i+1), strings.Repeat("v", 20))
+	}
+	if len(tree.Roots()) < 2 {
+		t.Fatal("expected the root to split at least once")
+	}
+	if tree.Roots()[len(tree.Roots())-1] != tree.Root() {
+		t.Error("last root in chain must be the current root")
+	}
+	// Everything still readable.
+	for i := 0; i < 200; i++ {
+		k := record.StringKey(fmt.Sprintf("key%03d", i))
+		if _, ok, err := tree.Get(k); !ok || err != nil {
+			t.Fatalf("Get(%s) after growth: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+// model is a reference implementation: a map of full version histories.
+type model map[string][]record.Version
+
+func (m model) insert(v record.Version) {
+	m[string(v.Key)] = append(m[string(v.Key)], v)
+}
+
+func (m model) getAsOf(k record.Key, T record.Timestamp) (record.Version, bool) {
+	var out record.Version
+	ok := false
+	for _, v := range m[string(k)] {
+		if v.Time <= T {
+			out = v
+			ok = true
+		}
+	}
+	if ok && out.Tombstone {
+		return record.Version{}, false
+	}
+	return out, ok
+}
+
+func (m model) scanAsOf(T record.Timestamp) map[string]record.Version {
+	out := make(map[string]record.Version)
+	for k := range m {
+		if v, ok := m.getAsOf(record.Key(k), T); ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func TestModelEquivalenceRandomWorkload(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tree, _ := newTree(t, Config{NodeSectors: 4})
+			m := make(model)
+			ts := uint64(0)
+			const nKeys = 40
+			for op := 0; op < 600; op++ {
+				ts++
+				k := record.StringKey(fmt.Sprintf("key%02d", rng.Intn(nKeys)))
+				v := record.Version{Key: k, Time: record.Timestamp(ts)}
+				if rng.Intn(10) == 0 {
+					v.Tombstone = true
+				} else {
+					v.Value = []byte(fmt.Sprintf("val-%d", ts))
+				}
+				if err := tree.Insert(v); err != nil {
+					t.Fatal(err)
+				}
+				m.insert(v)
+			}
+			// Current gets.
+			for i := 0; i < nKeys; i++ {
+				k := record.StringKey(fmt.Sprintf("key%02d", i))
+				gv, gok, err := tree.Get(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mv, mok := m.getAsOf(k, record.TimeInfinity)
+				if gok != mok || (gok && string(gv.Value) != string(mv.Value)) {
+					t.Fatalf("Get(%s): tree=%v,%v model=%v,%v", k, gv, gok, mv, mok)
+				}
+			}
+			// As-of gets at random times.
+			for trial := 0; trial < 200; trial++ {
+				k := record.StringKey(fmt.Sprintf("key%02d", rng.Intn(nKeys)))
+				T := record.Timestamp(rng.Intn(int(ts) + 2))
+				gv, gok, err := tree.GetAsOf(k, T)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mv, mok := m.getAsOf(k, T)
+				if gok != mok || (gok && (gv.Time != mv.Time || string(gv.Value) != string(mv.Value))) {
+					t.Fatalf("GetAsOf(%s,%d): tree=%v,%v model=%v,%v", k, T, gv, gok, mv, mok)
+				}
+			}
+			// Snapshots at a few times.
+			for _, T := range []record.Timestamp{1, record.Timestamp(ts / 2), record.Timestamp(ts)} {
+				got, err := tree.ScanAsOf(T, nil, record.InfiniteBound())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := m.scanAsOf(T)
+				if len(got) != len(want) {
+					t.Fatalf("snapshot@%d size: tree=%d model=%d", T, len(got), len(want))
+				}
+				for _, v := range got {
+					w := want[string(v.Key)]
+					if w.Time != v.Time || string(w.Value) != string(v.Value) {
+						t.Fatalf("snapshot@%d key %s: tree=%v model=%v", T, v.Key, v, w)
+					}
+				}
+			}
+			// Histories.
+			for i := 0; i < nKeys; i++ {
+				k := record.StringKey(fmt.Sprintf("key%02d", i))
+				h, err := tree.History(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := m[string(k)]
+				if len(h) != len(want) {
+					t.Fatalf("History(%s) len: tree=%d model=%d", k, len(h), len(want))
+				}
+				for j := range h {
+					if h[j].Time != want[j].Time {
+						t.Fatalf("History(%s)[%d]: tree=%v model=%v", k, j, h[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRedundancyGrowsWithUpdates(t *testing.T) {
+	// §2.3: versions that survive splits are copied; redundancy is the
+	// price of clustering. Update-heavy load should copy versions.
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tree, fmt.Sprintf("k%d", i%5), uint64(i+1), "payload")
+	}
+	if tree.Stats().LeafCopies == 0 {
+		t.Error("update-heavy workload should produce consolidated copies")
+	}
+	if tree.Stats().TimeSplits == 0 {
+		t.Error("update-heavy workload should time split")
+	}
+}
+
+func TestDumpRendersNodes(t *testing.T) {
+	tree, _ := newTree(t, Config{NodeSectors: 4})
+	mustInsert(t, tree, "50", 1, "Joe")
+	s, err := tree.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "50 Joe T=1") {
+		t.Errorf("Dump output missing record: %q", s)
+	}
+	items, err := tree.NodeItems(tree.Root())
+	if err != nil || len(items) != 1 || items[0] != "50 Joe T=1" {
+		t.Errorf("NodeItems = %v, %v", items, err)
+	}
+}
+
+func TestNodeSectorsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NodeSectors < 4 should panic")
+		}
+	}()
+	worm := storage.NewWORMDisk(storage.WORMConfig{SectorSize: 256})
+	New(worm, Config{NodeSectors: 2})
+}
