@@ -1,16 +1,23 @@
-// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E9)
+// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E10)
 // and prints their tables: the measurement plan stated in §3.2/§5 of
-// Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims.
+// Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, and
+// the concurrent sharded-engine scaling run (E10).
 //
 // Usage:
 //
 //	tsbench [-exp all|E1,E2,...] [-ops N] [-value BYTES] [-seed N]
+//	        [-shards 1,2,4,8] [-workers N] [-benchjson FILE]
+//
+// -benchjson writes the E10 throughput points as JSON, so CI can archive
+// a perf trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -18,11 +25,14 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma-separated E1..E9, or 'all')")
+	expFlag := flag.String("exp", "all", "experiments to run (comma-separated E1..E10, or 'all')")
 	ops := flag.Int("ops", 20000, "operations per run")
 	value := flag.Int("value", 32, "record payload bytes")
 	seed := flag.Int64("seed", 1, "workload seed")
 	dist := flag.String("dist", "uniform", "update-target distribution: uniform, zipf, sequential")
+	shards := flag.String("shards", "1,2,4,8", "shard counts for the concurrent experiment (comma-separated)")
+	workers := flag.Int("workers", 8, "concurrent workers for the E10 mixed workload")
+	benchJSON := flag.String("benchjson", "", "write E10 throughput results to this file as JSON")
 	flag.Parse()
 
 	var d workload.Distribution
@@ -38,9 +48,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	shardCounts, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsbench:", err)
+		os.Exit(2)
+	}
+
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 9; i++ {
+		for i := 1; i <= 10; i++ {
 			want[fmt.Sprintf("E%d", i)] = true
 		}
 	} else {
@@ -50,13 +66,25 @@ func main() {
 	}
 	p := experiments.Params{Ops: *ops, ValueSize: *value, Seed: *seed, Dist: d}
 
-	if err := run(want, p); err != nil {
+	if err := run(want, p, shardCounts, *workers, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "tsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want map[string]bool, p experiments.Params) error {
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(want map[string]bool, p experiments.Params, shardCounts []int, workers int, benchJSON string) error {
 	needSweep := want["E1"] || want["E2"] || want["E3"] || want["E4"] ||
 		want["E6"] || want["E7"] || want["E8"]
 	var sweep *experiments.Sweep
@@ -104,5 +132,54 @@ func run(want map[string]bool, p experiments.Params) error {
 		}
 		fmt.Println(tab)
 	}
+	if want["E10"] {
+		opsPerWorker := p.Ops / workers
+		if opsPerWorker == 0 {
+			opsPerWorker = 1
+		}
+		results, tab, err := experiments.E10Concurrent(shardCounts, workers, opsPerWorker, p.Seed, p.ValueSize)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+		if benchJSON != "" {
+			if err := writeBenchJSON(benchJSON, results); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchJSON)
+		}
+	}
 	return nil
+}
+
+// benchPoint is the archived perf-trajectory record: one throughput point
+// per shard count.
+type benchPoint struct {
+	Experiment string  `json:"experiment"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	Ops        uint64  `json:"ops"`
+	Conflicts  uint64  `json:"conflicts"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+func writeBenchJSON(path string, results []experiments.E10Result) error {
+	points := make([]benchPoint, 0, len(results))
+	for _, r := range results {
+		points = append(points, benchPoint{
+			Experiment: "E10-concurrent-mixed",
+			Shards:     r.Shards,
+			Workers:    r.Workers,
+			Ops:        r.Ops,
+			Conflicts:  r.Conflicts,
+			ElapsedSec: r.Elapsed.Seconds(),
+			OpsPerSec:  r.OpsPerSec,
+		})
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

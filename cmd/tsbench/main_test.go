@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/experiments"
@@ -10,7 +13,7 @@ func TestRunSubset(t *testing.T) {
 	// A tiny run of the non-sweep experiments plus one sweep-backed
 	// table, mostly to keep the wiring honest.
 	p := experiments.Params{Ops: 800, ValueSize: 16, Seed: 1}
-	if err := run(map[string]bool{"E5": true, "E9": true}, p); err != nil {
+	if err := run(map[string]bool{"E5": true, "E9": true}, p, nil, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -20,7 +23,39 @@ func TestRunSweepBacked(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	p := experiments.Params{Ops: 800, ValueSize: 16, Seed: 1}
-	if err := run(map[string]bool{"E1": true, "E4": true, "E8": true}, p); err != nil {
+	if err := run(map[string]bool{"E1": true, "E4": true, "E8": true}, p, nil, 4, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunConcurrentWritesBenchJSON(t *testing.T) {
+	p := experiments.Params{Ops: 400, ValueSize: 16, Seed: 1}
+	path := filepath.Join(t.TempDir(), "BENCH_E10.json")
+	if err := run(map[string]bool{"E10": true}, p, []int{1, 2}, 4, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []benchPoint
+	if err := json.Unmarshal(data, &points); err != nil {
+		t.Fatalf("bench json: %v\n%s", err, data)
+	}
+	if len(points) != 2 || points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
+		t.Fatalf("unexpected bench points: %+v", points)
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	got, err := parseShards("1, 2,8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Fatalf("parseShards: %v %v", got, err)
+	}
+	if _, err := parseShards("0"); err == nil {
+		t.Fatal("accepted shard count 0")
+	}
+	if _, err := parseShards("x"); err == nil {
+		t.Fatal("accepted junk")
 	}
 }

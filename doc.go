@@ -8,13 +8,25 @@
 //   - internal/wobt: Easton's Write-Once B-tree, the §2 baseline;
 //   - internal/bplus: a single-version B+-tree comparator;
 //   - internal/storage: simulated magnetic and write-once devices;
-//   - internal/buffer, internal/record: substrates;
+//   - internal/buffer, internal/record: substrates (the record package
+//     also defines the shard-boundary key codec);
 //   - internal/txn, internal/secondary, internal/db: the §4/§3.6
 //     transaction and secondary-index layers and the engine facade;
 //   - internal/workload, internal/metrics, internal/experiments: the
-//     evaluation harness (experiments E1-E9, see EXPERIMENTS.md).
+//     evaluation harness (experiments E1-E10, see EXPERIMENTS.md).
 //
-// The benchmarks in bench_test.go regenerate every experiment; the
-// binaries under cmd/ print the experiment tables (tsbench), replay the
-// paper's figures (figures), and dump tree structure (tsbdump).
+// The engine is concurrent and sharded: db.Config.Shards partitions the
+// key space across N independent TSB-trees (key-range sharding, so range
+// queries still merge in key order), each behind a reader/writer latch,
+// with a shared wait-free commit clock and a no-wait lock table — see the
+// internal/db package documentation for the exact guarantees. Shards: 1
+// (the default) reproduces the paper's single-tree system; higher counts
+// scale throughput with available cores (experiment E10,
+// BenchmarkSharded* in bench_test.go).
+//
+// The benchmarks in bench_test.go regenerate every experiment and the
+// shard-scaling curves; the binaries under cmd/ print the experiment
+// tables (tsbench, including the concurrent E10 run and a -benchjson
+// perf-trajectory export), replay the paper's figures (figures), and
+// dump tree structure (tsbdump).
 package repro

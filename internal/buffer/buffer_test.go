@@ -166,6 +166,110 @@ func TestPoolConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestPoolConcurrentMixed hammers the pool with concurrent writers,
+// readers, allocators, and stats snapshots — the access pattern the
+// sharded engine produces, where every shard tree shares one pool. Each
+// goroutine owns a disjoint set of pages so content checks are exact;
+// what is shared (and verified race-clean) is the pool's LRU, map, and
+// counters.
+func TestPoolConcurrentMixed(t *testing.T) {
+	dev := newDev()
+	pool := NewPool(dev, 16) // smaller than the working set: forces evictions
+	const goroutines = 8
+	const pagesPer = 6
+	var wg sync.WaitGroup
+	// Each goroutine publishes its final page -> contents view here, so
+	// the main goroutine can audit cache-vs-device agreement afterwards.
+	finals := make([]map[uint64]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pages := make([]uint64, pagesPer)
+			vals := make([]string, pagesPer)
+			defer func() {
+				final := make(map[uint64]string, pagesPer)
+				for i, p := range pages {
+					final[p] = vals[i]
+				}
+				finals[g] = final
+			}()
+			for i := range pages {
+				p, err := pool.Alloc()
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				pages[i] = p
+				vals[i] = fmt.Sprintf("g%d-p%d-v0", g, i)
+				if err := pool.Write(p, []byte(vals[i])); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+			for i := 0; i < 300; i++ {
+				idx := i % pagesPer
+				switch i % 5 {
+				case 0: // rewrite
+					vals[idx] = fmt.Sprintf("g%d-p%d-v%d", g, idx, i)
+					if err := pool.Write(pages[idx], []byte(vals[idx])); err != nil {
+						t.Errorf("rewrite: %v", err)
+						return
+					}
+				case 3: // free and reallocate
+					if err := pool.Free(pages[idx]); err != nil {
+						t.Errorf("free: %v", err)
+						return
+					}
+					p, err := pool.Alloc()
+					if err != nil {
+						t.Errorf("realloc: %v", err)
+						return
+					}
+					pages[idx] = p
+					vals[idx] = fmt.Sprintf("g%d-p%d-v%d", g, idx, i)
+					if err := pool.Write(p, []byte(vals[idx])); err != nil {
+						t.Errorf("write after realloc: %v", err)
+						return
+					}
+				case 4:
+					pool.Stats()
+				default: // read back own page
+					got, err := pool.Read(pages[idx])
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					if string(got) != vals[idx] {
+						t.Errorf("page %d: got %q want %q", pages[idx], got, vals[idx])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The cache must still agree with the device for every live page.
+	for g, final := range finals {
+		for p, want := range final {
+			fromPool, err := pool.Read(p)
+			if err != nil {
+				t.Fatalf("g%d page %d: pool read: %v", g, p, err)
+			}
+			fromDev, err := dev.Read(p)
+			if err != nil {
+				t.Fatalf("g%d page %d: device read: %v", g, p, err)
+			}
+			if string(fromPool) != want || string(fromDev) != want {
+				t.Fatalf("g%d page %d: pool=%q device=%q want %q", g, p, fromPool, fromDev, want)
+			}
+		}
+	}
+	if st := pool.Stats(); st.Hits+st.Misses == 0 {
+		t.Error("no reads recorded")
+	}
+}
+
 func TestPoolPanicsOnBadCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {

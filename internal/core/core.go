@@ -172,6 +172,35 @@ type Stats struct {
 	Height           int
 }
 
+// Merge returns the element-wise sum of two Stats snapshots (Height is
+// the maximum): the aggregate view over the trees of a sharded engine.
+func (s Stats) Merge(o Stats) Stats {
+	out := s
+	out.Inserts += o.Inserts
+	out.Commits += o.Commits
+	out.Aborts += o.Aborts
+	out.Deletes += o.Deletes
+	out.Restamps += o.Restamps
+	out.LeafTimeSplits += o.LeafTimeSplits
+	out.LeafKeySplits += o.LeafKeySplits
+	out.LeafTimeKeySplits += o.LeafTimeKeySplits
+	out.IndexTimeSplits += o.IndexTimeSplits
+	out.IndexKeySplits += o.IndexKeySplits
+	out.RootSplits += o.RootSplits
+	out.ForcedTimeSplits += o.ForcedTimeSplits
+	out.MarkedLeaves += o.MarkedLeaves
+	out.RedundantVersions += o.RedundantVersions
+	out.RedundantIndexEntries += o.RedundantIndexEntries
+	out.VersionsMigrated += o.VersionsMigrated
+	out.BytesMigrated += o.BytesMigrated
+	out.HistoricalNodes += o.HistoricalNodes
+	out.CurrentNodes += o.CurrentNodes
+	if o.Height > out.Height {
+		out.Height = o.Height
+	}
+	return out
+}
+
 // Tree is a Time-Split B-tree. Current nodes live on a magnetic
 // storage.PageStore; historical nodes are appended to a WORM device.
 // It is not safe for concurrent use; the transaction layer serializes

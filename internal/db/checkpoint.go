@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 
-	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/record"
 	"repro/internal/secondary"
@@ -16,35 +15,47 @@ import (
 
 // checkpoint is the on-wire form of a saved database. Both devices are
 // imaged in full (the simulated disks are the durable state), plus the
-// tree metadata and the transaction clock.
+// per-shard tree metadata and the transaction clock.
 type checkpoint struct {
 	FormatVersion int
 	Magnetic      storage.MagneticImage
 	WORM          storage.WORMImage
-	Primary       core.TreeImage
-	Secondaries   map[string]core.TreeImage
-	Clock         record.Timestamp
-	BufferPages   int
+	// Shards holds one tree image per key-range shard, in shard order.
+	// Boundaries are implied by len(Shards) via record.ShardBoundary.
+	Shards      []core.TreeImage
+	Secondaries map[string]core.TreeImage
+	Clock       record.Timestamp
+	BufferPages int
 }
 
-const checkpointVersion = 1
+// checkpointVersion 2 replaced the single Primary image with the Shards
+// slice when the engine gained key-range sharding.
+const checkpointVersion = 2
 
 // SaveTo writes a checkpoint of the database. There must be no active
 // updating transactions (pending versions are saved as pending and remain
-// abortable after load, but in-flight Txn handles do not survive).
+// abortable after load, but in-flight Txn handles do not survive) and no
+// concurrent use of the database during the save.
 func (d *DB) SaveTo(w io.Writer) error {
 	cp := checkpoint{
 		FormatVersion: checkpointVersion,
 		Magnetic:      d.mag.Image(),
 		WORM:          d.worm.Image(),
-		Primary:       d.tree.Image(),
+		Shards:        make([]core.TreeImage, 0, len(d.store.shards)),
 		Secondaries:   make(map[string]core.TreeImage),
 		Clock:         d.tm.Now(),
 		BufferPages:   d.bufferPages,
 	}
+	for _, sh := range d.store.shards {
+		sh.mu.RLock()
+		cp.Shards = append(cp.Shards, sh.tree.Image())
+		sh.mu.RUnlock()
+	}
+	d.secMu.RLock()
 	for name, s := range d.secondaries {
 		cp.Secondaries[name] = s.index.Image()
 	}
+	d.secMu.RUnlock()
 	return gob.NewEncoder(w).Encode(cp)
 }
 
@@ -59,6 +70,9 @@ func LoadFrom(r io.Reader, extracts map[string]SecondaryExtract, cost *storage.C
 	if cp.FormatVersion != checkpointVersion {
 		return nil, fmt.Errorf("db: checkpoint format %d, want %d", cp.FormatVersion, checkpointVersion)
 	}
+	if len(cp.Shards) == 0 || len(cp.Shards) > record.MaxShards {
+		return nil, fmt.Errorf("db: checkpoint has %d shard images, want 1..%d", len(cp.Shards), record.MaxShards)
+	}
 	if len(extracts) != len(cp.Secondaries) {
 		return nil, fmt.Errorf("db: checkpoint has %d secondary indexes, %d extractors supplied",
 			len(cp.Secondaries), len(extracts))
@@ -71,16 +85,17 @@ func LoadFrom(r io.Reader, extracts map[string]SecondaryExtract, cost *storage.C
 	d := &DB{secondaries: make(map[string]*secondaryIndex), bufferPages: cp.BufferPages}
 	d.mag = storage.NewMagneticFromImage(cp.Magnetic, cm)
 	d.worm = storage.NewWORMFromImage(cp.WORM, cm)
-	var pages storage.PageStore = d.mag
-	if cp.BufferPages > 0 {
-		d.pool = buffer.NewPool(d.mag, cp.BufferPages)
-		pages = d.pool
+	pages := d.pages()
+	trees := make([]*core.Tree, len(cp.Shards))
+	for i, img := range cp.Shards {
+		tree, err := core.FromImage(pages, d.worm, img)
+		if err != nil {
+			return nil, fmt.Errorf("db: shard %d: %w", i, err)
+		}
+		trees[i] = tree
 	}
-	tree, err := core.FromImage(pages, d.worm, cp.Primary)
-	if err != nil {
-		return nil, err
-	}
-	d.tree = tree
+	d.store = newShardedStore(trees)
+	d.policy = trees[0].Policy()
 
 	// Deterministic order for reproducible error messages.
 	names := make([]string, 0, len(cp.Secondaries))
@@ -100,7 +115,7 @@ func LoadFrom(r io.Reader, extracts map[string]SecondaryExtract, cost *storage.C
 		d.secondaries[name] = &secondaryIndex{index: ix, extract: extract}
 	}
 
-	d.tm = txn.NewManager(tree, cp.Clock)
+	d.tm = txn.NewManager(d.store, cp.Clock)
 	d.tm.SetCommitHook(d.onCommit)
 	return d, nil
 }

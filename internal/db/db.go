@@ -1,22 +1,46 @@
 // Package db is the public face of the reproduction: a multiversion,
-// timestamped database engine with a non-deletion policy, backed by a
-// Time-Split B-tree over a simulated magnetic disk (current data) and a
+// timestamped database engine with a non-deletion policy, backed by
+// Time-Split B-trees over a simulated magnetic disk (current data) and a
 // simulated write-once optical disk (historical data), with transactions,
-// lock-free read-only queries, and secondary indexes — the complete system
-// of Lomet & Salzberg, SIGMOD 1989.
+// read-only queries that take no logical locks, and secondary indexes —
+// the complete system of Lomet & Salzberg, SIGMOD 1989.
+//
+// # Sharding and concurrency
+//
+// The key space is range-partitioned across Config.Shards independent
+// TSB-trees (shard order equals key order, so range queries concatenate
+// per-shard results). The concurrency guarantees, precisely:
+//
+//   - Read-only transactions take no logical record locks and never wait
+//     for a lock (§4.1). Obtaining a snapshot timestamp (ReadOnly/ReadAt)
+//     is a wait-free atomic clock read.
+//   - Reads are NOT wait-free end to end: each per-shard tree structure
+//     is protected by a reader/writer latch, so a read briefly shares a
+//     shard latch and can wait for an in-progress page split on that one
+//     shard. Readers never block readers, and never touch shards outside
+//     their key range.
+//   - Updaters claim keys in a no-wait lock table (conflicts fail fast
+//     with txn.ErrLockConflict) and write pending versions under the
+//     owning shard's write latch. Commit posting is serialized by a
+//     commit mutex so commit timestamps reach every shard in order; the
+//     shared clock advances only after a commit is fully posted, so any
+//     snapshot at time <= Now() is consistent.
+//   - Secondary indexes are maintained during commit posting and guarded
+//     by their own reader/writer latch.
 //
 // Typical use:
 //
-//	d, _ := db.Open(db.Config{})
+//	d, _ := db.Open(db.Config{Shards: 8})
 //	d.Update(func(tx *txn.Txn) error { return tx.Put(k, v) })
 //	v, ok, _ := d.Get(k)              // current version
 //	v, ok, _ = d.GetAsOf(k, t)        // rollback query
-//	snap := d.ReadOnly()              // lock-free snapshot reader
+//	snap := d.ReadOnly()              // snapshot reader, no logical locks
 package db
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -28,13 +52,17 @@ import (
 
 // Config configures a database.
 type Config struct {
+	// Shards is the number of key-range partitions, each an independent
+	// TSB-tree with its own latch (default 1, max record.MaxShards).
+	// Shard boundaries are fixed at open time by record.ShardBoundary.
+	Shards int
 	// PageSize is the magnetic page size in bytes (default 4096).
 	PageSize int
 	// SectorSize is the WORM sector size in bytes (default 1024, the
 	// paper's "typically about one kilobyte").
 	SectorSize int
 	// BufferPages is the page-cache capacity (default 256; 0 disables
-	// caching).
+	// caching). All shards share one pool.
 	BufferPages int
 	// Policy is the TSB-tree splitting policy (default PolicyLastUpdate,
 	// the paper's refinement).
@@ -63,21 +91,31 @@ type secondaryIndex struct {
 }
 
 // DB is a multiversion database instance. All public methods are safe for
-// concurrent use (the transaction manager serializes structural access;
-// read-only transactions take no logical locks).
+// concurrent use; see the package documentation for what is latched and
+// what is wait-free.
 type DB struct {
-	mag  *storage.MagneticDisk
-	pool *buffer.Pool
-	worm *storage.WORMDisk
-	tree *core.Tree
-	tm   *txn.Manager
+	mag   *storage.MagneticDisk
+	pool  *buffer.Pool
+	worm  *storage.WORMDisk
+	store *shardedStore
+	tm    *txn.Manager
 
+	// secMu latches the secondary indexes: write-held while commit
+	// posting applies index maintenance, read-held by lookups.
+	secMu       sync.RWMutex
 	secondaries map[string]*secondaryIndex
+
+	policy      core.Policy
 	bufferPages int
 }
 
-// Open creates a new database on fresh simulated devices.
-func Open(cfg Config) (*DB, error) {
+func (cfg *Config) withDefaults() error {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shards > record.MaxShards {
+		return fmt.Errorf("db: Shards %d outside [1,%d]", cfg.Shards, record.MaxShards)
+	}
 	if cfg.PageSize == 0 {
 		cfg.PageSize = 4096
 	}
@@ -87,16 +125,27 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 256
 	}
+	if (cfg.Policy == core.Policy{}) {
+		cfg.Policy = core.PolicyLastUpdate
+	}
+	return nil
+}
+
+// Open creates a new database on fresh simulated devices.
+func Open(cfg Config) (*DB, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
 	cost := storage.DefaultCostModel()
 	if cfg.Cost != nil {
 		cost = *cfg.Cost
 	}
-	policy := cfg.Policy
-	if (policy == core.Policy{}) {
-		policy = core.PolicyLastUpdate
-	}
 
-	d := &DB{secondaries: make(map[string]*secondaryIndex), bufferPages: cfg.BufferPages}
+	d := &DB{
+		secondaries: make(map[string]*secondaryIndex),
+		policy:      cfg.Policy,
+		bufferPages: cfg.BufferPages,
+	}
 	d.mag = storage.NewMagneticDisk(cfg.PageSize, cost)
 	d.worm = storage.NewWORMDisk(storage.WORMConfig{
 		SectorSize:     cfg.SectorSize,
@@ -104,41 +153,51 @@ func Open(cfg Config) (*DB, error) {
 		PlatterSectors: cfg.PlatterSectors,
 		Drives:         cfg.Drives,
 	})
-	var pages storage.PageStore = d.mag
-	if cfg.BufferPages > 0 {
-		d.pool = buffer.NewPool(d.mag, cfg.BufferPages)
-		pages = d.pool
+	pages := d.pages()
+	trees := make([]*core.Tree, cfg.Shards)
+	for i := range trees {
+		tree, err := core.New(pages, d.worm, core.Config{
+			Policy:        cfg.Policy,
+			MaxKeySize:    cfg.MaxKeySize,
+			MaxValueSize:  cfg.MaxValueSize,
+			LeafCapacity:  cfg.LeafCapacity,
+			IndexCapacity: cfg.IndexCapacity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trees[i] = tree
 	}
-	tree, err := core.New(pages, d.worm, core.Config{
-		Policy:        policy,
-		MaxKeySize:    cfg.MaxKeySize,
-		MaxValueSize:  cfg.MaxValueSize,
-		LeafCapacity:  cfg.LeafCapacity,
-		IndexCapacity: cfg.IndexCapacity,
-	})
-	if err != nil {
-		return nil, err
-	}
-	d.tree = tree
-	d.tm = txn.NewManager(tree, tree.Now())
+	d.store = newShardedStore(trees)
+	d.tm = txn.NewManager(d.store, d.store.Now())
 	d.tm.SetCommitHook(d.onCommit)
 	return d, nil
+}
+
+// pages returns the page store the trees share: the buffer pool when
+// caching is enabled, the raw device otherwise.
+func (d *DB) pages() storage.PageStore {
+	if d.bufferPages > 0 {
+		if d.pool == nil {
+			d.pool = buffer.NewPool(d.mag, d.bufferPages)
+		}
+		return d.pool
+	}
+	return d.mag
 }
 
 // CreateSecondary registers a secondary index maintained from commit time
 // onward. It must be called before any data is written.
 func (d *DB) CreateSecondary(name string, extract SecondaryExtract) error {
-	if d.tree.Stats().Inserts > 0 {
+	if d.store.stats().Inserts > 0 {
 		return fmt.Errorf("db: secondary index %q must be created before any writes", name)
 	}
+	d.secMu.Lock()
+	defer d.secMu.Unlock()
 	if _, dup := d.secondaries[name]; dup {
 		return fmt.Errorf("db: secondary index %q already exists", name)
 	}
-	var pages storage.PageStore = d.mag
-	if d.pool != nil {
-		pages = d.pool
-	}
-	ix, err := secondary.New(name, pages, d.worm, core.Config{Policy: d.tree.Policy()})
+	ix, err := secondary.New(name, d.pages(), d.worm, core.Config{Policy: d.policy})
 	if err != nil {
 		return err
 	}
@@ -147,8 +206,11 @@ func (d *DB) CreateSecondary(name string, extract SecondaryExtract) error {
 }
 
 // onCommit maintains the secondary indexes; it runs under the transaction
-// manager's lock for every committed key.
+// manager's commit mutex for every committed key, write-holding the
+// secondary latch.
 func (d *DB) onCommit(ct record.Timestamp, oldV record.Version, oldOK bool, newV record.Version) error {
+	d.secMu.Lock()
+	defer d.secMu.Unlock()
 	for _, s := range d.secondaries {
 		var oldSkey record.Key
 		hadOld := false
@@ -182,10 +244,11 @@ func (d *DB) Begin() *txn.Txn { return d.tm.Begin() }
 // Update runs fn in a transaction, committing on success.
 func (d *DB) Update(fn func(*txn.Txn) error) error { return d.tm.Update(fn) }
 
-// ReadOnly starts a lock-free read-only transaction at the current time.
+// ReadOnly starts a read-only transaction at the current time. It takes
+// no logical locks; see the package documentation.
 func (d *DB) ReadOnly() *txn.ReadTxn { return d.tm.ReadOnly() }
 
-// ReadAt starts a lock-free read-only transaction at a past time.
+// ReadAt starts a read-only transaction at a past time.
 func (d *DB) ReadAt(at record.Timestamp) *txn.ReadTxn { return d.tm.ReadAt(at) }
 
 // Get returns the most recent committed version of key k.
@@ -227,6 +290,8 @@ func (d *DB) Now() record.Timestamp { return d.tm.Now() }
 // LookupSecondary returns the primary keys carrying the secondary key at
 // time at, using only the secondary index.
 func (d *DB) LookupSecondary(name string, skey record.Key, at record.Timestamp) ([]record.Key, error) {
+	d.secMu.RLock()
+	defer d.secMu.RUnlock()
 	s, ok := d.secondaries[name]
 	if !ok {
 		return nil, fmt.Errorf("db: no secondary index %q", name)
@@ -236,6 +301,8 @@ func (d *DB) LookupSecondary(name string, skey record.Key, at record.Timestamp) 
 
 // CountSecondary counts records carrying the secondary key at time at.
 func (d *DB) CountSecondary(name string, skey record.Key, at record.Timestamp) (int, error) {
+	d.secMu.RLock()
+	defer d.secMu.RUnlock()
 	s, ok := d.secondaries[name]
 	if !ok {
 		return 0, fmt.Errorf("db: no secondary index %q", name)
@@ -268,6 +335,7 @@ func (d *DB) FetchBySecondary(name string, skey record.Key, at record.Timestamp)
 
 // Stats aggregates the accounting of every component.
 type Stats struct {
+	// Tree sums the structural counters over all shard trees.
 	Tree     core.Stats
 	Txn      txn.Stats
 	Magnetic storage.MagneticStats
@@ -280,7 +348,7 @@ type Stats struct {
 // Stats returns a snapshot of all counters.
 func (d *DB) Stats() Stats {
 	st := Stats{
-		Tree:        d.tree.Stats(),
+		Tree:        d.store.stats(),
 		Txn:         d.tm.Stats(),
 		Magnetic:    d.mag.Stats(),
 		WORM:        d.worm.Stats(),
@@ -289,23 +357,38 @@ func (d *DB) Stats() Stats {
 	if d.pool != nil {
 		st.Buffer = d.pool.Stats()
 	}
+	d.secMu.RLock()
 	for name, s := range d.secondaries {
 		st.Secondaries[name] = s.index.Tree().Stats()
 	}
+	d.secMu.RUnlock()
 	return st
 }
 
-// Tree exposes the primary TSB-tree (dump tools, invariant checks).
-func (d *DB) Tree() *core.Tree { return d.tree }
+// Shards returns the number of key-range partitions.
+func (d *DB) Shards() int { return len(d.store.shards) }
+
+// Tree exposes the first shard's TSB-tree: with the default single shard
+// this is the whole primary index (dump tools, invariant checks). Callers
+// must not use it while concurrent transactions run; use ShardTree for
+// the general case.
+func (d *DB) Tree() *core.Tree { return d.store.shards[0].tree }
+
+// ShardTree exposes shard i's TSB-tree. Callers must not use it while
+// concurrent transactions run.
+func (d *DB) ShardTree(i int) *core.Tree { return d.store.shards[i].tree }
 
 // Devices exposes the simulated devices for experiment accounting.
 func (d *DB) Devices() (*storage.MagneticDisk, *storage.WORMDisk) { return d.mag, d.worm }
 
-// CheckInvariants verifies the primary tree and every secondary tree.
+// CheckInvariants verifies every shard tree (including that each key
+// routes to the shard holding it) and every secondary tree.
 func (d *DB) CheckInvariants() error {
-	if err := d.tree.CheckInvariants(); err != nil {
+	if err := d.store.checkInvariants(); err != nil {
 		return fmt.Errorf("primary: %w", err)
 	}
+	d.secMu.RLock()
+	defer d.secMu.RUnlock()
 	for name, s := range d.secondaries {
 		if err := s.index.Tree().CheckInvariants(); err != nil {
 			return fmt.Errorf("secondary %q: %w", name, err)

@@ -1,0 +1,206 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// shard is one key-range partition of the database: an independent
+// TSB-tree guarded by a reader/writer latch. The latch protects the tree
+// *structure* (nodes split and migrate in place); logical record locking
+// is the transaction manager's job. Readers of disjoint shards never
+// contend, and readers of the same shard share the latch.
+type shard struct {
+	mu   sync.RWMutex
+	tree *core.Tree
+}
+
+// shardedStore routes operations across n key-range shards and implements
+// txn.Store and txn.Differ. Shard i owns the half-open key range
+// [record.ShardBoundary(i,n), record.ShardBoundary(i+1,n)), so shard order
+// equals key order and range queries merge by concatenating per-shard
+// results — no interleaving is ever needed.
+type shardedStore struct {
+	shards []*shard
+}
+
+func newShardedStore(trees []*core.Tree) *shardedStore {
+	s := &shardedStore{shards: make([]*shard, len(trees))}
+	for i, t := range trees {
+		s.shards[i] = &shard{tree: t}
+	}
+	return s
+}
+
+func (s *shardedStore) shardFor(k record.Key) *shard {
+	return s.shards[record.ShardOfKey(k, len(s.shards))]
+}
+
+// shardSpan returns the inclusive shard index range a key interval
+// [low, high) touches.
+func (s *shardedStore) shardSpan(low record.Key, high record.Bound) (from, to int) {
+	n := len(s.shards)
+	from = record.ShardOfKey(low, n)
+	if high.IsInfinite() {
+		return from, n - 1
+	}
+	return from, record.ShardOfKey(high.Key(), n)
+}
+
+// Now returns the largest committed timestamp across all shards.
+func (s *shardedStore) Now() record.Timestamp {
+	var now record.Timestamp
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if t := sh.tree.Now(); t > now {
+			now = t
+		}
+		sh.mu.RUnlock()
+	}
+	return now
+}
+
+func (s *shardedStore) Insert(v record.Version) error {
+	sh := s.shardFor(v.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tree.Insert(v)
+}
+
+func (s *shardedStore) CommitKey(k record.Key, txnID uint64, commitTime record.Timestamp) error {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tree.CommitKey(k, txnID, commitTime)
+}
+
+func (s *shardedStore) AbortKey(k record.Key, txnID uint64) error {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tree.AbortKey(k, txnID)
+}
+
+func (s *shardedStore) GetPending(k record.Key, txnID uint64) (record.Version, bool, error) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tree.GetPending(k, txnID)
+}
+
+func (s *shardedStore) Get(k record.Key) (record.Version, bool, error) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tree.Get(k)
+}
+
+func (s *shardedStore) GetAsOf(k record.Key, at record.Timestamp) (record.Version, bool, error) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tree.GetAsOf(k, at)
+}
+
+func (s *shardedStore) History(k record.Key) ([]record.Version, error) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tree.History(k)
+}
+
+func (s *shardedStore) ScanAsOf(at record.Timestamp, low record.Key, high record.Bound) ([]record.Version, error) {
+	var out []record.Version
+	from, to := s.shardSpan(low, high)
+	for i := from; i <= to; i++ {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		part, err := sh.tree.ScanAsOf(at, low, high)
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("db: shard %d: %w", i, err)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+func (s *shardedStore) ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
+	var out []record.Version
+	lo, hi := s.shardSpan(low, high)
+	for i := lo; i <= hi; i++ {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		part, err := sh.tree.ScanRange(low, high, from, to)
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("db: shard %d: %w", i, err)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+func (s *shardedStore) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
+	var out []core.Change
+	lo, hi := s.shardSpan(low, high)
+	for i := lo; i <= hi; i++ {
+		sh := s.shards[i]
+		sh.mu.RLock()
+		part, err := sh.tree.Diff(low, high, from, to)
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, fmt.Errorf("db: shard %d: %w", i, err)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// stats aggregates the structural counters of every shard tree.
+func (s *shardedStore) stats() core.Stats {
+	var agg core.Stats
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		agg = agg.Merge(sh.tree.Stats())
+		sh.mu.RUnlock()
+	}
+	return agg
+}
+
+// checkInvariants verifies every shard tree and that every key a shard
+// holds routes back to it.
+func (s *shardedStore) checkInvariants() error {
+	n := len(s.shards)
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		err := sh.tree.CheckInvariants()
+		if err == nil && n > 1 {
+			low, high := record.ShardRange(i, n)
+			var vs []record.Version
+			vs, err = sh.tree.ScanRange(nil, record.InfiniteBound(), record.TimeZero+1, record.TimeInfinity)
+			for _, v := range vs {
+				if err != nil {
+					break
+				}
+				if v.Key.Less(low) || high.CompareKey(v.Key) <= 0 {
+					err = fmt.Errorf("key %s outside shard range [%s,%s)", v.Key, low, high)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+var (
+	_ txn.Store  = (*shardedStore)(nil)
+	_ txn.Differ = (*shardedStore)(nil)
+)

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// E10Result summarizes one concurrent mixed-workload run at one shard
+// count.
+type E10Result struct {
+	Shards       int
+	Workers      int
+	Ops          uint64 // operations completed (reads + committed writes)
+	Conflicts    uint64 // no-wait lock conflicts (writes retried)
+	Elapsed      time.Duration
+	OpsPerSec    float64
+	CacheHit     float64
+	InvariantsOK bool
+}
+
+// runMixed drives cfg's streams against d with one goroutine per worker.
+// Write conflicts (no-wait locking) are retried once, then skipped; every
+// completed operation counts toward throughput.
+func runMixed(d *db.DB, m *workload.Mixed) (ops, conflicts uint64, err error) {
+	cfg := m.Config()
+	for _, op := range m.InitialOps() {
+		if uerr := d.Update(func(tx *txn.Txn) error { return tx.Put(op.Key, op.Value) }); uerr != nil {
+			return 0, 0, uerr
+		}
+	}
+	var done, confl atomic.Uint64
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := m.Stream(w)
+			for _, op := range stream {
+				var oerr error
+				switch op.Kind {
+				case workload.OpPut, workload.OpDelete:
+					write := func(tx *txn.Txn) error {
+						if op.Kind == workload.OpDelete {
+							return tx.Delete(op.Key)
+						}
+						return tx.Put(op.Key, op.Value)
+					}
+					oerr = d.Update(write)
+					if errors.Is(oerr, txn.ErrLockConflict) {
+						confl.Add(1)
+						oerr = d.Update(write) // one retry
+						if errors.Is(oerr, txn.ErrLockConflict) {
+							// Give up (no-wait policy): the write did
+							// not complete and must not count.
+							confl.Add(1)
+							continue
+						}
+					}
+				case workload.OpGet:
+					_, _, oerr = d.Get(op.Key)
+				case workload.OpGetAsOf:
+					at := d.Now()
+					if at > 2 {
+						at = at/2 + 1
+					}
+					_, _, oerr = d.GetAsOf(op.Key, at)
+				case workload.OpScan:
+					_, oerr = d.ScanAsOf(d.Now(), op.Key, op.High)
+				}
+				if oerr != nil {
+					errCh <- fmt.Errorf("worker %d: %w", w, oerr)
+					return
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for e := range errCh {
+		return 0, 0, e
+	}
+	return done.Load(), confl.Load(), nil
+}
+
+// E10Concurrent runs the mixed read/write scenario of
+// workload.MixedConfig at each given shard count and reports throughput:
+// the scaling experiment behind the sharded engine. Same streams, same
+// key space — only the shard count varies. seed and valueSize
+// parameterize the streams (0 valueSize = the workload default).
+func E10Concurrent(shardCounts []int, workers, opsPerWorker int, seed int64, valueSize int) ([]E10Result, Table, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	tab := Table{
+		Title:  "E10: concurrent mixed workload throughput vs shard count",
+		Header: []string{"shards", "workers", "ops", "conflicts", "elapsed", "ops/sec", "cache-hit"},
+		Remarks: []string{
+			"key-range sharding: one TSB-tree + RW latch per shard, commit posting serialized",
+			fmt.Sprintf("mixed stream per worker: 50%% reads (incl. scans+rollback reads), ops/worker=%d", opsPerWorker),
+			"expected: throughput grows with shard count while cores allow; 1 shard serializes every tree access",
+		},
+	}
+	var results []E10Result
+	for _, shards := range shardCounts {
+		d, err := db.Open(db.Config{Shards: shards})
+		if err != nil {
+			return nil, Table{}, err
+		}
+		m := workload.NewMixed(workload.MixedConfig{
+			Workers:          workers,
+			OpsPerWorker:     opsPerWorker,
+			RollbackFraction: 0.2,
+			DeleteFraction:   0.05,
+			ValueSize:        valueSize,
+			Seed:             seed,
+		})
+		start := time.Now()
+		ops, conflicts, err := runMixed(d, m)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, Table{}, fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			return nil, Table{}, fmt.Errorf("shards=%d invariants: %w", shards, err)
+		}
+		st := d.Stats()
+		r := E10Result{
+			Shards:       shards,
+			Workers:      workers,
+			Ops:          ops,
+			Conflicts:    conflicts,
+			Elapsed:      elapsed,
+			OpsPerSec:    float64(ops) / elapsed.Seconds(),
+			CacheHit:     st.Buffer.HitRate(),
+			InvariantsOK: true,
+		}
+		results = append(results, r)
+		tab.Rows = append(tab.Rows, []string{
+			num(uint64(shards)), num(uint64(workers)), num(ops), num(conflicts),
+			r.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", r.OpsPerSec), f3(r.CacheHit),
+		})
+	}
+	return results, tab, nil
+}

@@ -212,3 +212,21 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestE10Concurrent(t *testing.T) {
+	results, tab, err := E10Concurrent([]int{1, 4}, 4, 150, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results\n%s", len(results), tab)
+	}
+	for _, r := range results {
+		if r.Ops == 0 || r.OpsPerSec <= 0 {
+			t.Errorf("shards=%d: no throughput recorded: %+v", r.Shards, r)
+		}
+		if !r.InvariantsOK {
+			t.Errorf("shards=%d: invariants failed", r.Shards)
+		}
+	}
+}

@@ -41,6 +41,47 @@ func FuzzDecodeVersion(f *testing.F) {
 	})
 }
 
+// FuzzShardRouting drives the shard-boundary key codec with arbitrary keys
+// and shard counts: routing must land every key inside its shard's
+// half-open range, boundary keys must route to the shard they begin, and
+// boundary keys must survive the page codec byte-identically (they are
+// persisted as rectangle bounds in sharded metadata).
+func FuzzShardRouting(f *testing.F) {
+	f.Add([]byte("key0000"), uint16(8))
+	f.Add([]byte{}, uint16(1))
+	f.Add([]byte{0x61, 0x00}, uint16(256))
+	f.Add([]byte{0xff, 0xff, 0x01}, uint16(65535))
+	f.Add([]byte{0x00}, uint16(3))
+
+	f.Fuzz(func(t *testing.T, key []byte, nRaw uint16) {
+		n := int(nRaw)
+		if n == 0 {
+			n = 1
+		}
+		k := Key(key)
+		i := ShardOfKey(k, n)
+		if i < 0 || i >= n {
+			t.Fatalf("shard %d of %d out of range", i, n)
+		}
+		low, high := ShardRange(i, n)
+		if k.Less(low) || high.CompareKey(k) <= 0 {
+			t.Fatalf("key %x routed to shard %d/%d but outside [%s,%s)", key, i, n, low, high)
+		}
+		// The boundary key itself belongs to the shard it opens.
+		if got := ShardOfKey(low, n); got != i && len(low) > 0 {
+			t.Fatalf("boundary %x of shard %d/%d routes to %d", low, i, n, got)
+		}
+		// Codec round trip of the boundary.
+		e := NewEncoder(nil)
+		e.Key(low)
+		d := NewDecoder(e.Bytes())
+		got := d.Key()
+		if d.Err() != nil || !got.Equal(low) {
+			t.Fatalf("boundary codec round trip %x -> %x (%v)", low, got, d.Err())
+		}
+	})
+}
+
 // FuzzDecodeRect is the rectangle decoder analogue.
 func FuzzDecodeRect(f *testing.F) {
 	e := NewEncoder(nil)

@@ -1,0 +1,99 @@
+package record
+
+import "fmt"
+
+// Shard-boundary key codec.
+//
+// The sharded engine partitions the key space into n contiguous ranges so
+// that range queries over shards merge by simple concatenation in shard
+// order. Boundaries are derived from the first two key bytes: the 16-bit
+// prefix space [0, 65536) is divided as evenly as integer arithmetic
+// allows, and each boundary value is encoded as a key with any trailing
+// zero byte trimmed. Trimming matters for correctness, not just size: the
+// boundary for prefix 0x6100 must be "a", not "a\x00", because the
+// one-byte key "a" sorts before "a\x00" yet has prefix value 0x6100 and
+// must belong to the shard that starts there.
+//
+// MaxShards bounds n so every shard spans at least one prefix value.
+const MaxShards = 1 << 16
+
+const shardPrefixSpace = 1 << 16
+
+// boundaryPrefix returns the 16-bit prefix value at which shard i of n
+// begins.
+func boundaryPrefix(i, n int) uint32 {
+	return uint32(uint64(i) * shardPrefixSpace / uint64(n))
+}
+
+// keyPrefix returns the key's 16-bit routing prefix: the first two bytes,
+// zero-padded on the right. The empty key has prefix 0.
+func keyPrefix(k Key) uint32 {
+	var v uint32
+	if len(k) > 0 {
+		v = uint32(k[0]) << 8
+	}
+	if len(k) > 1 {
+		v |= uint32(k[1])
+	}
+	return v
+}
+
+func checkShardCount(n int) {
+	if n < 1 || n > MaxShards {
+		panic(fmt.Sprintf("record: shard count %d outside [1,%d]", n, MaxShards))
+	}
+}
+
+// ShardBoundary returns the smallest key belonging to shard i of n.
+// Shard 0 begins at the empty key (minus infinity); for i == n the
+// function returns nil too, but callers should use ShardRange, which
+// reports the final shard's open upper bound explicitly.
+func ShardBoundary(i, n int) Key {
+	checkShardCount(n)
+	if i < 0 || i > n {
+		panic(fmt.Sprintf("record: shard index %d outside [0,%d]", i, n))
+	}
+	if i == 0 || i == n {
+		return nil
+	}
+	v := boundaryPrefix(i, n)
+	if v&0xff == 0 {
+		return Key{byte(v >> 8)}
+	}
+	return Key{byte(v >> 8), byte(v)}
+}
+
+// ShardOfKey returns the index of the shard of n that owns key k. It is
+// consistent with ShardBoundary: ShardBoundary(i,n) <= k < ShardBoundary(i+1,n)
+// lexicographically.
+func ShardOfKey(k Key, n int) int {
+	checkShardCount(n)
+	if n == 1 {
+		return 0
+	}
+	v := keyPrefix(k)
+	i := int(uint64(v) * uint64(n) / shardPrefixSpace)
+	// Integer division above is a close guess; settle on the exact
+	// half-open interval.
+	for i+1 < n && boundaryPrefix(i+1, n) <= v {
+		i++
+	}
+	for i > 0 && boundaryPrefix(i, n) > v {
+		i--
+	}
+	return i
+}
+
+// ShardRange returns the half-open key range [low, high) that shard i of n
+// is responsible for.
+func ShardRange(i, n int) (low Key, high Bound) {
+	checkShardCount(n)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("record: shard index %d outside [0,%d)", i, n))
+	}
+	low = ShardBoundary(i, n)
+	if i == n-1 {
+		return low, InfiniteBound()
+	}
+	return low, KeyBound(ShardBoundary(i+1, n))
+}

@@ -1,0 +1,94 @@
+package record
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShardBoundariesStrictlyIncreasing(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 100, 255, 256, 257, 4096, MaxShards} {
+		prev := Key(nil)
+		for i := 1; i < n; i++ {
+			b := ShardBoundary(i, n)
+			if len(b) == 0 {
+				t.Fatalf("n=%d: boundary %d is empty", n, i)
+			}
+			if b[len(b)-1] == 0 {
+				t.Fatalf("n=%d: boundary %d=%x has a trailing zero byte", n, i, b)
+			}
+			if !prev.Less(b) {
+				t.Fatalf("n=%d: boundary %d=%x not after %x", n, i, b, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestShardOfKeyMatchesBoundaries(t *testing.T) {
+	keys := []Key{
+		nil, Key{0}, Key{0, 0}, Key{0, 1}, Key("a"), Key("a\x00"), Key("a\x00x"),
+		Key("a\x01"), Key("key0000"), Key("zzzz"), Key{0xff}, Key{0xff, 0xff, 0xff},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		k := make(Key, rng.Intn(6))
+		rng.Read(k)
+		keys = append(keys, k)
+	}
+	for _, n := range []int{1, 2, 3, 7, 8, 64, 256, 300, 65535} {
+		for _, k := range keys {
+			i := ShardOfKey(k, n)
+			if i < 0 || i >= n {
+				t.Fatalf("n=%d key=%x: shard %d out of range", n, k, i)
+			}
+			low, high := ShardRange(i, n)
+			if k.Less(low) || high.CompareKey(k) <= 0 {
+				t.Fatalf("n=%d key=%x: shard %d range [%s,%s) does not contain key",
+					n, k, i, low, high)
+			}
+		}
+	}
+}
+
+func TestShardRangesTileKeySpace(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 256, 1000} {
+		low0, _ := ShardRange(0, n)
+		if len(low0) != 0 {
+			t.Fatalf("n=%d: shard 0 starts at %x, want -inf", n, low0)
+		}
+		for i := 0; i < n-1; i++ {
+			_, high := ShardRange(i, n)
+			nextLow, _ := ShardRange(i+1, n)
+			if high.IsInfinite() || !high.Key().Equal(nextLow) {
+				t.Fatalf("n=%d: shard %d ends at %s, shard %d starts at %x", n, i, high, i+1, nextLow)
+			}
+		}
+		_, last := ShardRange(n-1, n)
+		if !last.IsInfinite() {
+			t.Fatalf("n=%d: last shard ends at %s, want +inf", n, last)
+		}
+	}
+}
+
+// TestShardBoundaryCodecRoundTrip pushes every boundary key through the
+// page codec: boundary keys become rectangle bounds in sharded index
+// metadata, so they must survive the Key/Bound encoders byte-identically.
+func TestShardBoundaryCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 8, 256, 4096} {
+		for i := 0; i <= n; i += 1 + n/64 {
+			b := ShardBoundary(min(i, n), n)
+			e := NewEncoder(nil)
+			e.Key(b)
+			e.Bound(KeyBound(b))
+			d := NewDecoder(e.Bytes())
+			got := d.Key()
+			gotBound := d.Bound()
+			if d.Err() != nil {
+				t.Fatalf("n=%d i=%d: decode: %v", n, i, d.Err())
+			}
+			if !got.Equal(b) || gotBound.CompareKey(b) != 0 {
+				t.Fatalf("n=%d i=%d: round trip %x -> %x / %s", n, i, b, got, gotBound)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package txn
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/record"
+)
+
+// LatchedStore makes a single-goroutine Store (a bare *core.Tree) safe
+// for concurrent use by wrapping every operation in a reader/writer
+// latch: mutations exclusive, reads shared. The db layer's key-range
+// shard router generalizes this to one latch per shard; LatchedStore is
+// the single-shard degenerate case, handy for tests and tools that drive
+// a Manager over one tree.
+type LatchedStore struct {
+	mu sync.RWMutex
+	s  Store
+}
+
+// NewLatchedStore wraps s in a latch.
+func NewLatchedStore(s Store) *LatchedStore { return &LatchedStore{s: s} }
+
+func (l *LatchedStore) Insert(v record.Version) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Insert(v)
+}
+
+func (l *LatchedStore) CommitKey(k record.Key, txnID uint64, commitTime record.Timestamp) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.CommitKey(k, txnID, commitTime)
+}
+
+func (l *LatchedStore) AbortKey(k record.Key, txnID uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.AbortKey(k, txnID)
+}
+
+func (l *LatchedStore) GetPending(k record.Key, txnID uint64) (record.Version, bool, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.GetPending(k, txnID)
+}
+
+func (l *LatchedStore) Get(k record.Key) (record.Version, bool, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.Get(k)
+}
+
+func (l *LatchedStore) GetAsOf(k record.Key, at record.Timestamp) (record.Version, bool, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.GetAsOf(k, at)
+}
+
+func (l *LatchedStore) ScanAsOf(at record.Timestamp, low record.Key, high record.Bound) ([]record.Version, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.ScanAsOf(at, low, high)
+}
+
+func (l *LatchedStore) History(k record.Key) ([]record.Version, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.History(k)
+}
+
+func (l *LatchedStore) ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.s.ScanRange(low, high, from, to)
+}
+
+// Diff forwards to the wrapped store when it supports time-travel diffs.
+func (l *LatchedStore) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
+	differ, ok := l.s.(Differ)
+	if !ok {
+		return nil, errNoDiff(l.s)
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return differ.Diff(low, high, from, to)
+}
+
+var (
+	_ Store  = (*LatchedStore)(nil)
+	_ Differ = (*LatchedStore)(nil)
+)

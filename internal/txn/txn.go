@@ -13,6 +13,29 @@
 //
 // Updaters use a no-wait lock table: a conflicting write fails immediately
 // with ErrLockConflict, which makes the protocol trivially deadlock-free.
+//
+// # Concurrency
+//
+// The Manager is safe for concurrent use provided its Store is (the db
+// layer supplies a latched, sharded store). Internally:
+//
+//   - the commit clock and transaction-id counter are atomics, so issuing
+//     a read-only transaction's timestamp is wait-free — a reader never
+//     blocks on an updater, honoring §4.1;
+//   - the no-wait lock table has its own short mutex, taken only to claim
+//     or release a key;
+//   - commit posting is serialized by a commit mutex: commit timestamps
+//     are assigned and posted strictly in order, and the clock is only
+//     advanced after every version of the commit is posted. A reader that
+//     observes clock value T therefore sees every version with time <= T
+//     fully posted, and nothing newer is visible at its timestamp.
+//
+// Uncommitted writes and reads run concurrently across transactions,
+// synchronized only by the Store's own latches. A Txn or ReadTxn handle
+// itself must be confined to one goroutine at a time (like database/sql's
+// Tx); distinct handles may be used from distinct goroutines freely.
+// ReadAt is consistent for any at <= Now(); reading "in the future" during
+// concurrent commits may observe a commit mid-posting.
 package txn
 
 import (
@@ -20,13 +43,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/record"
 )
 
-// Store is the versioned store a Manager coordinates. *core.Tree satisfies
-// it.
+// Store is the versioned store a Manager coordinates. It must be safe for
+// concurrent use; the db layer's latched shard router satisfies it, and a
+// bare *core.Tree does for single-goroutine use.
 type Store interface {
 	Insert(v record.Version) error
 	CommitKey(k record.Key, txnID uint64, commitTime record.Timestamp) error
@@ -57,93 +82,124 @@ type Stats struct {
 	Conflicts uint64
 }
 
-// CommitHook is invoked under the manager's lock for every key a
+// CommitHook is invoked under the manager's commit mutex for every key a
 // transaction commits, after the version is stamped. The db layer uses it
 // to maintain secondary indexes. old is the previously committed version
 // (ok=false if none); new is the just-committed version.
 type CommitHook func(commitTime record.Timestamp, oldV record.Version, oldOK bool, newV record.Version) error
 
-// Manager issues transaction ids and commit timestamps, serializes access
-// to the store, and holds the updater lock table. It is safe for
-// concurrent use.
+// Manager issues transaction ids and commit timestamps, orders commit
+// posting, and holds the updater lock table. It is safe for concurrent
+// use when its Store is.
 type Manager struct {
-	mu     sync.Mutex
-	store  Store
-	clock  record.Timestamp
-	nextID uint64
+	store Store
+
+	// clock is the last fully-posted commit timestamp. Readers load it
+	// wait-free; it is advanced only under commitMu.
+	clock  atomic.Uint64
+	nextID atomic.Uint64
+
+	// commitMu serializes commit posting, hook invocation, and the clock
+	// advance, so commit timestamps reach the store strictly in order.
+	commitMu sync.Mutex
+	hook     CommitHook
+
+	// lockMu guards the no-wait lock table only.
+	lockMu sync.Mutex
 	locks  map[string]uint64 // key -> txn id holding the write lock
-	stats  Stats
-	hook   CommitHook
+
+	begun, committed, aborted, readers, conflicts atomic.Uint64
 }
 
 // NewManager returns a Manager over store. The clock starts at startTime
 // (use the store's largest committed timestamp when re-opening).
 func NewManager(store Store, startTime record.Timestamp) *Manager {
-	return &Manager{
-		store:  store,
-		clock:  startTime,
-		locks:  make(map[string]uint64),
-		nextID: 1,
+	m := &Manager{
+		store: store,
+		locks: make(map[string]uint64),
 	}
+	m.clock.Store(uint64(startTime))
+	m.nextID.Store(1)
+	return m
 }
 
-// SetCommitHook installs the per-key commit callback.
+// SetCommitHook installs the per-key commit callback. It must be called
+// before concurrent transactions begin.
 func (m *Manager) SetCommitHook(h CommitHook) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
 	m.hook = h
 }
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Begun:     m.begun.Load(),
+		Committed: m.committed.Load(),
+		Aborted:   m.aborted.Load(),
+		Readers:   m.readers.Load(),
+		Conflicts: m.conflicts.Load(),
+	}
 }
 
-// Now returns the last issued commit timestamp.
+// Now returns the last fully-posted commit timestamp.
 func (m *Manager) Now() record.Timestamp {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.clock
+	return record.Timestamp(m.clock.Load())
 }
 
-// Txn is an updating transaction.
+// Txn is an updating transaction. A Txn must be used by one goroutine at
+// a time.
 type Txn struct {
-	m      *Manager
-	id     uint64
-	writes map[string]record.Key
-	done   bool
+	m          *Manager
+	id         uint64
+	writes     map[string]record.Key
+	done       bool
+	commitTime record.Timestamp
 }
 
 // Begin starts an updating transaction.
 func (m *Manager) Begin() *Txn {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextID++
-	m.stats.Begun++
-	return &Txn{m: m, id: m.nextID, writes: make(map[string]record.Key)}
+	m.begun.Add(1)
+	return &Txn{m: m, id: m.nextID.Add(1), writes: make(map[string]record.Key)}
 }
 
 // ID returns the transaction's id.
 func (t *Txn) ID() uint64 { return t.id }
 
+// CommitTime returns the timestamp the transaction committed at, or 0 if
+// it has not (successfully) committed or wrote nothing.
+func (t *Txn) CommitTime() record.Timestamp { return t.commitTime }
+
+// releaseLock drops the lock-table entry for key ks if held by txn id.
+func (m *Manager) releaseLock(ks string, id uint64) {
+	m.lockMu.Lock()
+	if holder, held := m.locks[ks]; held && holder == id {
+		delete(m.locks, ks)
+	}
+	m.lockMu.Unlock()
+}
+
 func (t *Txn) lockAndWrite(v record.Version) error {
 	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.done {
 		return ErrDone
 	}
 	ks := string(v.Key)
+	_, mine := t.writes[ks]
+	m.lockMu.Lock()
 	if holder, held := m.locks[ks]; held && holder != t.id {
-		m.stats.Conflicts++
+		m.lockMu.Unlock()
+		m.conflicts.Add(1)
 		return fmt.Errorf("%w: key %s held by txn %d", ErrLockConflict, v.Key, holder)
 	}
+	m.locks[ks] = t.id
+	m.lockMu.Unlock()
 	if err := m.store.Insert(v); err != nil {
+		if !mine {
+			m.releaseLock(ks, t.id)
+		}
 		return err
 	}
-	m.locks[ks] = t.id
 	t.writes[ks] = v.Key
 	return nil
 }
@@ -164,11 +220,10 @@ func (t *Txn) Delete(k record.Key) error {
 }
 
 // Get returns the transaction's own pending write of k if it has one,
-// otherwise the most recently committed version.
+// otherwise the most recently committed version (read-committed: a
+// concurrent commit mid-posting may already be visible key by key).
 func (t *Txn) Get(k record.Key) (record.Version, bool, error) {
 	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.done {
 		return record.Version{}, false, ErrDone
 	}
@@ -202,60 +257,97 @@ func (t *Txn) sortedWrites() []record.Key {
 
 // Commit assigns the transaction its commit timestamp and stamps every
 // pending version with it. All of a transaction's versions carry the same
-// commit time.
+// commit time. Commits are posted strictly in timestamp order; the shared
+// clock advances only once every version is posted.
+//
+// If posting fails partway (a store error — with the simulated devices
+// this means fault injection or corruption), Commit erases the
+// still-pending keys, releases every lock, and returns the error. Keys
+// already stamped stay stamped: if any were, the clock still advances so
+// no later transaction can share the torn commit's timestamp. The
+// transaction counts as aborted.
 func (t *Txn) Commit() error {
 	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.done {
 		return ErrDone
 	}
 	t.done = true
 	if len(t.writes) == 0 {
-		m.stats.Committed++
+		m.committed.Add(1)
 		return nil
 	}
-	commitTime := m.clock + 1
-	for _, k := range t.sortedWrites() {
-		var oldV record.Version
-		var oldOK bool
-		var err error
-		if m.hook != nil {
-			oldV, oldOK, err = m.store.Get(k)
-			if err != nil {
-				return fmt.Errorf("txn: commit of %s: %w", k, err)
-			}
-		}
-		if err := m.store.CommitKey(k, t.id, commitTime); err != nil {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	commitTime := record.Timestamp(m.clock.Load()) + 1
+	keys := t.sortedWrites()
+	for i, k := range keys {
+		if stamped, err := m.postKey(k, t.id, commitTime); err != nil {
+			m.failCommit(keys[i:], t.id, commitTime, i > 0 || stamped)
 			return fmt.Errorf("txn: commit of %s: %w", k, err)
 		}
-		if m.hook != nil {
-			newV, ok, err := m.store.GetAsOf(k, commitTime)
-			if err != nil {
-				return fmt.Errorf("txn: commit hook of %s: %w", k, err)
-			}
-			if !ok {
-				// The committed version is a tombstone; rebuild it
-				// for the hook.
-				newV = record.Version{Key: k, Time: commitTime, Tombstone: true}
-			}
-			if err := m.hook(commitTime, oldV, oldOK, newV); err != nil {
-				return fmt.Errorf("txn: commit hook of %s: %w", k, err)
-			}
-		}
-		delete(m.locks, string(k))
+		m.releaseLock(string(k), t.id)
 	}
-	m.clock = commitTime
-	m.stats.Committed++
+	m.clock.Store(uint64(commitTime))
+	t.commitTime = commitTime
+	m.committed.Add(1)
 	return nil
+}
+
+// postKey stamps one pending version with the commit time and runs the
+// commit hook. stamped reports whether the version was committed to the
+// store even if the hook then failed. Called under commitMu.
+func (m *Manager) postKey(k record.Key, txnID uint64, commitTime record.Timestamp) (stamped bool, err error) {
+	var oldV record.Version
+	var oldOK bool
+	if m.hook != nil {
+		oldV, oldOK, err = m.store.Get(k)
+		if err != nil {
+			return false, err
+		}
+	}
+	if err := m.store.CommitKey(k, txnID, commitTime); err != nil {
+		return false, err
+	}
+	if m.hook != nil {
+		newV, ok, err := m.store.GetAsOf(k, commitTime)
+		if err != nil {
+			return true, err
+		}
+		if !ok {
+			// The committed version is a tombstone; rebuild it for
+			// the hook.
+			newV = record.Version{Key: k, Time: commitTime, Tombstone: true}
+		}
+		if err := m.hook(commitTime, oldV, oldOK, newV); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// failCommit cleans up after a posting error: the failed and unposted
+// keys' pending versions are erased best-effort and every remaining lock
+// is released, so no key stays locked forever. If at least one key was
+// already stamped, the clock advances past the torn timestamp so no later
+// transaction can commit at it. Called under commitMu.
+func (m *Manager) failCommit(remaining []record.Key, txnID uint64, commitTime record.Timestamp, posted bool) {
+	for _, k := range remaining {
+		// AbortKey fails if the pending version is gone (e.g. the
+		// failed key was stamped before its hook errored); the lock
+		// must be released regardless.
+		_ = m.store.AbortKey(k, txnID)
+		m.releaseLock(string(k), txnID)
+	}
+	if posted {
+		m.clock.Store(uint64(commitTime))
+	}
+	m.aborted.Add(1)
 }
 
 // Abort erases the transaction's pending versions. Aborting is always
 // possible because uncommitted data never reaches the write-once device.
 func (t *Txn) Abort() error {
 	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.done {
 		return ErrDone
 	}
@@ -264,9 +356,9 @@ func (t *Txn) Abort() error {
 		if err := m.store.AbortKey(k, t.id); err != nil {
 			return fmt.Errorf("txn: abort of %s: %w", k, err)
 		}
-		delete(m.locks, string(k))
+		m.releaseLock(string(k), t.id)
 	}
-	m.stats.Aborted++
+	m.aborted.Add(1)
 	return nil
 }
 
@@ -277,53 +369,49 @@ type ReadTxn struct {
 }
 
 // ReadOnly starts a read-only transaction with a timestamp issued at
-// initiation (§4.1). It sees exactly the versions committed at or before
-// that time — never a pending version — and acquires no locks.
+// initiation (§4.1). Issuing the timestamp is a wait-free atomic load: a
+// reader never blocks on an updater. It sees exactly the versions
+// committed at or before that time — never a pending version — and
+// acquires no logical locks (reads take only short physical shard
+// latches in the store).
 func (m *Manager) ReadOnly() *ReadTxn {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.Readers++
-	return &ReadTxn{m: m, at: m.clock}
+	m.readers.Add(1)
+	return &ReadTxn{m: m, at: record.Timestamp(m.clock.Load())}
 }
 
 // ReadAt returns a read-only transaction pinned to an arbitrary past
-// timestamp — the rollback-database time-travel path.
+// timestamp — the rollback-database time-travel path. Snapshots are
+// consistent for any at <= Now().
 func (m *Manager) ReadAt(at record.Timestamp) *ReadTxn {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.Readers++
+	m.readers.Add(1)
 	return &ReadTxn{m: m, at: at}
 }
 
 // History returns the full committed version history of key k.
 func (m *Manager) History(k record.Key) ([]record.Version, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.store.History(k)
 }
 
 // ScanRange returns the versions of keys in [low, high) valid at any
 // moment in the time window [from, to): the general temporal range query.
 func (m *Manager) ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.store.ScanRange(low, high, from, to)
 }
 
 // Differ is implemented by stores that support time-travel diffs
-// (*core.Tree does).
+// (*core.Tree and the db layer's shard router do).
 type Differ interface {
 	Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error)
 }
 
+func errNoDiff(s any) error { return fmt.Errorf("txn: store %T does not support Diff", s) }
+
 // Diff reports the keys whose visible state differs between two times.
 // It fails if the underlying store does not support diffs.
 func (m *Manager) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	differ, ok := m.store.(Differ)
 	if !ok {
-		return nil, fmt.Errorf("txn: store %T does not support Diff", m.store)
+		return nil, errNoDiff(m.store)
 	}
 	return differ.Diff(low, high, from, to)
 }
@@ -333,16 +421,12 @@ func (r *ReadTxn) Timestamp() record.Timestamp { return r.at }
 
 // Get returns the version of k valid at the reader's timestamp.
 func (r *ReadTxn) Get(k record.Key) (record.Version, bool, error) {
-	r.m.mu.Lock()
-	defer r.m.mu.Unlock()
 	return r.m.store.GetAsOf(k, r.at)
 }
 
 // Scan returns the snapshot of [low, high) at the reader's timestamp —
-// the lock-free backup/unload path of §4.1.
+// the backup/unload path of §4.1, which takes no logical locks.
 func (r *ReadTxn) Scan(low record.Key, high record.Bound) ([]record.Version, error) {
-	r.m.mu.Lock()
-	defer r.m.mu.Unlock()
 	return r.m.store.ScanAsOf(r.at, low, high)
 }
 

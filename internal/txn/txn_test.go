@@ -19,7 +19,7 @@ func newManager(t *testing.T) (*Manager, *core.Tree) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewManager(tree, tree.Now()), tree
+	return NewManager(NewLatchedStore(tree), tree.Now()), tree
 }
 
 func TestCommitMakesWritesVisible(t *testing.T) {
@@ -299,5 +299,73 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	}
 	if err := tree.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// failingStore injects a single CommitKey failure for one key, to
+// exercise the torn-commit cleanup path.
+type failingStore struct {
+	Store
+	failKey string
+	fired   bool
+}
+
+func (f *failingStore) CommitKey(k record.Key, txnID uint64, ct record.Timestamp) error {
+	if string(k) == f.failKey && !f.fired {
+		f.fired = true
+		return fmt.Errorf("injected commit failure for %s", k)
+	}
+	return f.Store.CommitKey(k, txnID, ct)
+}
+
+func TestCommitFailureReleasesLocksAndBurnsTimestamp(t *testing.T) {
+	mag := storage.NewMagneticDisk(4096, storage.CostModel{})
+	worm := storage.NewWORMDisk(storage.WORMConfig{SectorSize: 512})
+	tree, err := core.New(mag, worm, core.Config{Policy: core.PolicyLastUpdate, MaxKeySize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(&failingStore{Store: NewLatchedStore(tree), failKey: "b"}, tree.Now())
+
+	tx := m.Begin()
+	for _, k := range []string{"a", "b", "c"} {
+		if err := tx.Put(record.StringKey(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit should have failed on injected error")
+	}
+	if tx.CommitTime() != 0 {
+		t.Errorf("failed commit reports commit time %v", tx.CommitTime())
+	}
+	// "a" (sorted first) was stamped at time 1 before "b" failed, so the
+	// clock must have burned timestamp 1: no later transaction may share it.
+	if m.Now() != 1 {
+		t.Errorf("clock = %v, want 1 (torn timestamp burned)", m.Now())
+	}
+	// The pending versions of "b" and "c" must be erased.
+	for _, k := range []string{"b", "c"} {
+		if _, ok, _ := m.ReadOnly().Get(record.StringKey(k)); ok {
+			t.Errorf("key %s visible after failed commit", k)
+		}
+	}
+	// Every lock must be released: a fresh transaction can write and
+	// commit all three keys, at a strictly later timestamp.
+	tx2 := m.Begin()
+	for _, k := range []string{"a", "b", "c"} {
+		if err := tx2.Put(record.StringKey(k), []byte("v2-"+k)); err != nil {
+			t.Fatalf("lock leaked for %s: %v", k, err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx2.CommitTime() != 2 {
+		t.Errorf("second commit at %v, want 2", tx2.CommitTime())
+	}
+	st := m.Stats()
+	if st.Committed != 1 || st.Aborted != 1 {
+		t.Errorf("stats = %+v, want 1 committed / 1 aborted", st)
 	}
 }

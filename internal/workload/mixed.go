@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/record"
+)
+
+// Mixed is the concurrent read/write scenario: W independent
+// deterministic operation streams meant to be driven by W goroutines
+// against one database. It exists so the sharded engine's concurrency is
+// exercised by a named, reproducible workload rather than ad-hoc loops.
+//
+// Keys come from SpreadKey, whose 8-byte binary keys have uniform
+// high-order bytes, so the streams spread evenly over the key-range
+// shards of internal/db. Each worker updates a private slice of the key
+// space by default (no-wait lock conflicts stay rare); set
+// ContendedFraction above zero to aim that fraction of writes at a small
+// shared hot set instead, provoking conflicts on purpose.
+type MixedConfig struct {
+	// Workers is the number of concurrent streams (default 4).
+	Workers int
+	// OpsPerWorker is the length of each stream (default 1000).
+	OpsPerWorker int
+	// ReadFraction in [0,1] is the probability an operation reads
+	// instead of writes (default 0.5).
+	ReadFraction float64
+	// ScanFraction is the portion of reads that are snapshot scans over
+	// a short key range; the rest are point reads (default 0.1).
+	ScanFraction float64
+	// RollbackFraction is the portion of point reads that address a
+	// past timestamp (GetAsOf) rather than the current time.
+	RollbackFraction float64
+	// DeleteFraction is the portion of writes that are tombstones.
+	DeleteFraction float64
+	// ContendedFraction is the portion of writes aimed at the shared
+	// hot set (16 keys) instead of the worker's private keys.
+	ContendedFraction float64
+	// KeysPerWorker sizes each worker's private key set (default 256).
+	KeysPerWorker int
+	// ValueSize is the record payload size in bytes (default 32).
+	ValueSize int
+	// Seed makes every stream deterministic.
+	Seed int64
+}
+
+func (c MixedConfig) withDefaults() MixedConfig {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.OpsPerWorker == 0 {
+		c.OpsPerWorker = 1000
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.5
+	}
+	if c.ScanFraction == 0 {
+		c.ScanFraction = 0.1
+	}
+	if c.KeysPerWorker == 0 {
+		c.KeysPerWorker = 256
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 32
+	}
+	return c
+}
+
+// MixedOpKind enumerates the operations of a mixed stream.
+type MixedOpKind int
+
+const (
+	// OpPut writes a value for Key.
+	OpPut MixedOpKind = iota
+	// OpDelete writes a tombstone for Key.
+	OpDelete
+	// OpGet reads the current version of Key.
+	OpGet
+	// OpGetAsOf reads Key at a past timestamp (the driver picks the
+	// concrete time, e.g. uniformly over [1, Now]).
+	OpGetAsOf
+	// OpScan snapshot-scans the half-open key range [Key, High).
+	OpScan
+)
+
+// String names the kind.
+func (k MixedOpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpGet:
+		return "get"
+	case OpGetAsOf:
+		return "get-asof"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("MixedOpKind(%d)", int(k))
+	}
+}
+
+// MixedOp is one operation of a mixed stream.
+type MixedOp struct {
+	Kind  MixedOpKind
+	Key   record.Key
+	High  record.Bound // scan upper bound (OpScan only)
+	Value []byte       // payload (OpPut only)
+}
+
+// SpreadKey returns the canonical key for index i, as an 8-byte binary
+// key whose high-order bytes are uniformly distributed (multiplicative
+// hashing), so consecutive indexes land on different key-range shards.
+func SpreadKey(i uint64) record.Key {
+	return record.Uint64Key(i * 0x9e3779b97f4a7c15)
+}
+
+// Mixed generates the per-worker streams of a MixedConfig.
+type Mixed struct {
+	cfg MixedConfig
+}
+
+// NewMixed returns a generator for cfg (defaults applied).
+func NewMixed(cfg MixedConfig) *Mixed {
+	return &Mixed{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration, defaults applied.
+func (m *Mixed) Config() MixedConfig { return m.cfg }
+
+// hotKey returns one of the 16 shared contended keys.
+func hotKey(rng *rand.Rand) record.Key {
+	return SpreadKey(uint64(1<<40) + uint64(rng.Intn(16)))
+}
+
+// privateKey returns one of worker w's private keys.
+func (m *Mixed) privateKey(w int, rng *rand.Rand) record.Key {
+	base := uint64(w+1) << 20
+	return SpreadKey(base + uint64(rng.Intn(m.cfg.KeysPerWorker)))
+}
+
+// InitialOps returns the writes that pre-seed every worker's private key
+// set and the hot set, so reads in the streams have targets. Apply them
+// (in any order, any sharding) before starting the workers.
+func (m *Mixed) InitialOps() []MixedOp {
+	var out []MixedOp
+	for w := 0; w < m.cfg.Workers; w++ {
+		base := uint64(w+1) << 20
+		for i := 0; i < m.cfg.KeysPerWorker; i++ {
+			out = append(out, MixedOp{
+				Kind: OpPut, Key: SpreadKey(base + uint64(i)),
+				Value: m.value(w, i),
+			})
+		}
+	}
+	for i := 0; i < 16; i++ {
+		out = append(out, MixedOp{
+			Kind: OpPut, Key: SpreadKey(uint64(1<<40) + uint64(i)),
+			Value: m.value(-1, i),
+		})
+	}
+	return out
+}
+
+func (m *Mixed) value(w, tag int) []byte {
+	v := make([]byte, m.cfg.ValueSize)
+	s := fmt.Sprintf("w%d-%d-", w, tag)
+	copy(v, s)
+	for i := len(s); i < len(v); i++ {
+		v[i] = byte('a' + (tag+i)%26)
+	}
+	return v
+}
+
+// Stream returns worker w's deterministic operation stream.
+func (m *Mixed) Stream(w int) []MixedOp {
+	c := m.cfg
+	rng := rand.New(rand.NewSource(c.Seed*1_000_003 + int64(w)))
+	out := make([]MixedOp, 0, c.OpsPerWorker)
+	for i := 0; i < c.OpsPerWorker; i++ {
+		var op MixedOp
+		if rng.Float64() < c.ReadFraction {
+			switch {
+			case rng.Float64() < c.ScanFraction:
+				// Short range scan starting at a random point.
+				start := rng.Uint64()
+				op = MixedOp{
+					Kind: OpScan,
+					Key:  record.Uint64Key(start),
+					High: record.KeyBound(record.Uint64Key(start + 1<<56)),
+				}
+			case rng.Float64() < c.RollbackFraction:
+				op = MixedOp{Kind: OpGetAsOf, Key: m.readTarget(w, rng)}
+			default:
+				op = MixedOp{Kind: OpGet, Key: m.readTarget(w, rng)}
+			}
+		} else {
+			k := m.privateKey(w, rng)
+			if c.ContendedFraction > 0 && rng.Float64() < c.ContendedFraction {
+				k = hotKey(rng)
+			}
+			if rng.Float64() < c.DeleteFraction {
+				op = MixedOp{Kind: OpDelete, Key: k}
+			} else {
+				op = MixedOp{Kind: OpPut, Key: k, Value: m.value(w, i)}
+			}
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// readTarget picks a key any worker may have written: usually the
+// reader's own range, sometimes another worker's, sometimes the hot set.
+func (m *Mixed) readTarget(w int, rng *rand.Rand) record.Key {
+	switch rng.Intn(4) {
+	case 0:
+		return m.privateKey(rng.Intn(m.cfg.Workers), rng)
+	case 1:
+		return hotKey(rng)
+	default:
+		return m.privateKey(w, rng)
+	}
+}

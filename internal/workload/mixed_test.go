@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func TestMixedStreamsDeterministic(t *testing.T) {
+	cfg := MixedConfig{Workers: 3, OpsPerWorker: 200, Seed: 9, DeleteFraction: 0.1, RollbackFraction: 0.2}
+	a := NewMixed(cfg)
+	b := NewMixed(cfg)
+	for w := 0; w < 3; w++ {
+		if !reflect.DeepEqual(a.Stream(w), b.Stream(w)) {
+			t.Fatalf("worker %d stream not deterministic", w)
+		}
+	}
+	if reflect.DeepEqual(a.Stream(0), a.Stream(1)) {
+		t.Fatal("distinct workers produced identical streams")
+	}
+}
+
+func TestMixedStreamsRespectFractions(t *testing.T) {
+	m := NewMixed(MixedConfig{Workers: 2, OpsPerWorker: 5000, Seed: 1, ReadFraction: 0.6, DeleteFraction: 0.2})
+	reads, writes, deletes := 0, 0, 0
+	for _, op := range m.Stream(0) {
+		switch op.Kind {
+		case OpGet, OpGetAsOf, OpScan:
+			reads++
+		case OpPut:
+			writes++
+		case OpDelete:
+			deletes++
+		}
+	}
+	total := reads + writes + deletes
+	if total != 5000 {
+		t.Fatalf("stream length %d", total)
+	}
+	if f := float64(reads) / float64(total); f < 0.55 || f > 0.65 {
+		t.Fatalf("read fraction %f, want ~0.6", f)
+	}
+	if f := float64(deletes) / float64(writes+deletes); f < 0.15 || f > 0.25 {
+		t.Fatalf("delete fraction %f, want ~0.2", f)
+	}
+}
+
+// TestSpreadKeysCoverShards checks the property the sharded engine's
+// scaling depends on: SpreadKey indexes land near-uniformly across the
+// key-range shards of record.ShardOfKey.
+func TestSpreadKeysCoverShards(t *testing.T) {
+	const n = 8
+	counts := make([]int, n)
+	for i := uint64(0); i < 8000; i++ {
+		counts[record.ShardOfKey(SpreadKey(i), n)]++
+	}
+	for s, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("shard %d holds %d of 8000 keys: spread is skewed (%v)", s, c, counts)
+		}
+	}
+}
+
+func TestMixedInitialOpsSeedAllTargets(t *testing.T) {
+	m := NewMixed(MixedConfig{Workers: 2, KeysPerWorker: 32, Seed: 3})
+	init := make(map[string]bool)
+	for _, op := range m.InitialOps() {
+		if op.Kind != OpPut || len(op.Value) == 0 {
+			t.Fatalf("bad initial op %+v", op)
+		}
+		init[string(op.Key)] = true
+	}
+	if len(init) != 2*32+16 {
+		t.Fatalf("initial ops cover %d keys, want %d", len(init), 2*32+16)
+	}
+	// Every point-read target of every stream must be pre-seeded.
+	for w := 0; w < 2; w++ {
+		for _, op := range m.Stream(w) {
+			if op.Kind == OpGet || op.Kind == OpGetAsOf {
+				if !init[string(op.Key)] {
+					t.Fatalf("read target %s not pre-seeded", op.Key)
+				}
+			}
+		}
+	}
+}
