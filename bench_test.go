@@ -385,3 +385,70 @@ func BenchmarkHistory(b *testing.B) {
 		}
 	}
 }
+
+// cursorBenchDB builds a database holding versions versions across
+// versions/5 keys, shared by the cursor benchmarks.
+func cursorBenchDB(b *testing.B, versions int) *db.DB {
+	b.Helper()
+	d, err := db.Open(db.Config{LeafCapacity: 512, IndexCapacity: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := versions / 5
+	for r := 0; r < 5; r++ {
+		for base := 0; base < keys; base += 100 {
+			err := d.Update(func(tx *txn.Txn) error {
+				for i := base; i < base+100 && i < keys; i++ {
+					k := record.Uint64Key(uint64(i) * 0x9e3779b97f4a7c15)
+					if err := tx.Put(k, []byte("benchpayload")); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+// BenchmarkCursorLimit1 measures the headline win of the streaming read
+// API: "first row of a big snapshot" is O(tree-depth) page reads, not a
+// materialized scan. Reported metric: buffer-pool page fetches per op.
+func BenchmarkCursorLimit1(b *testing.B) {
+	d := cursorBenchDB(b, 100_000)
+	fetches := func() uint64 { st := d.Stats().Buffer; return st.Hits + st.Misses }
+	start := fetches()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := d.Cursor(nil, record.InfiniteBound(), db.ScanOptions{Limit: 1})
+		if !cur.Next() {
+			b.Fatal(cur.Err())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fetches()-start)/float64(b.N), "pagereads/op")
+}
+
+// BenchmarkCursorStream iterates a full 20k-key snapshot through the
+// cursor, the streaming counterpart of BenchmarkSnapshotScan's
+// materializing path at the db layer.
+func BenchmarkCursorStream(b *testing.B) {
+	d := cursorBenchDB(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		cur := d.Cursor(nil, record.InfiniteBound(), db.ScanOptions{})
+		for cur.Next() {
+			n++
+		}
+		if cur.Err() != nil {
+			b.Fatal(cur.Err())
+		}
+		if n != 20_000 {
+			b.Fatalf("streamed %d versions", n)
+		}
+	}
+}

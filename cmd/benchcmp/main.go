@@ -1,0 +1,104 @@
+// Command benchcmp compares two BENCH_E10.json files (the perf-trajectory
+// points tsbench -benchjson emits) and prints the throughput delta per
+// shard count — the "compare across PRs" half of the benchmark
+// trajectory: CI archives each run's point and diffs it against the
+// previous run on main.
+//
+// Usage:
+//
+//	benchcmp OLD.json NEW.json
+//
+// Exit status is always 0 when both files parse: a perf regression is a
+// signal for a human, not a build failure (the simulated-device numbers
+// are noisy on shared runners).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// point mirrors the benchPoint schema tsbench writes.
+type point struct {
+	Experiment string  `json:"experiment"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	Ops        uint64  `json:"ops"`
+	Conflicts  uint64  `json:"conflicts"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	out, err := compare(os.Args[1], os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+func load(path string) (map[int]point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pts []point
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byShards := make(map[int]point, len(pts))
+	for _, p := range pts {
+		byShards[p.Shards] = p
+	}
+	return byShards, nil
+}
+
+// compare renders the old-vs-new table. Shard counts present in only one
+// file are reported as such rather than dropped.
+func compare(oldPath, newPath string) (string, error) {
+	oldPts, err := load(oldPath)
+	if err != nil {
+		return "", err
+	}
+	newPts, err := load(newPath)
+	if err != nil {
+		return "", err
+	}
+	shardSet := make(map[int]bool)
+	for s := range oldPts {
+		shardSet[s] = true
+	}
+	for s := range newPts {
+		shardSet[s] = true
+	}
+	var shards []int
+	for s := range shardSet {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	out := fmt.Sprintf("%-8s %14s %14s %9s\n", "shards", "old ops/sec", "new ops/sec", "delta")
+	for _, s := range shards {
+		o, haveOld := oldPts[s]
+		n, haveNew := newPts[s]
+		switch {
+		case !haveOld:
+			out += fmt.Sprintf("%-8d %14s %14.0f %9s\n", s, "-", n.OpsPerSec, "new")
+		case !haveNew:
+			out += fmt.Sprintf("%-8d %14.0f %14s %9s\n", s, o.OpsPerSec, "-", "gone")
+		default:
+			delta := 0.0
+			if o.OpsPerSec > 0 {
+				delta = (n.OpsPerSec - o.OpsPerSec) / o.OpsPerSec * 100
+			}
+			out += fmt.Sprintf("%-8d %14.0f %14.0f %+8.1f%%\n", s, o.OpsPerSec, n.OpsPerSec, delta)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `[
+	 {"experiment":"E10-concurrent-mixed","shards":1,"workers":8,"ops":8000,"ops_per_sec":1000},
+	 {"experiment":"E10-concurrent-mixed","shards":8,"workers":8,"ops":8000,"ops_per_sec":4000}
+	]`
+	newJSON := `[
+	 {"experiment":"E10-concurrent-mixed","shards":1,"workers":8,"ops":8000,"ops_per_sec":1100},
+	 {"experiment":"E10-concurrent-mixed","shards":8,"workers":8,"ops":8000,"ops_per_sec":3600},
+	 {"experiment":"E10-concurrent-mixed","shards":16,"workers":8,"ops":8000,"ops_per_sec":5000}
+	]`
+	out, err := compare(write(t, dir, "old.json", oldJSON), write(t, dir, "new.json", newJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"+10.0%", "-10.0%", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Rows ordered by shard count.
+	if strings.Index(out, "\n1 ") > strings.Index(out, "\n8 ") && strings.Index(out, "\n8 ") >= 0 {
+		t.Errorf("rows out of order:\n%s", out)
+	}
+}
+
+func TestCompareBadInput(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.json", `[]`)
+	bad := write(t, dir, "bad.json", `{not json`)
+	if _, err := compare(good, bad); err == nil {
+		t.Fatal("malformed JSON must fail")
+	}
+	if _, err := compare(filepath.Join(dir, "missing.json"), good); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	tsbdump [-policy NAME] [-ops N] [-u FRACTION] [-dump] [-seed N]
+//	tsbdump [-policy NAME] [-ops N] [-u FRACTION] [-dump] [-seed N] [-scan N]
+//
+// -scan N streams the first N records of the current snapshot through the
+// lazy cursor API — pagination over the tree, not a materialized scan.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/record"
 )
 
 func main() {
@@ -24,15 +28,16 @@ func main() {
 	u := flag.Float64("u", 0.5, "update fraction in [0,1]")
 	seed := flag.Int64("seed", 1, "workload seed")
 	dump := flag.Bool("dump", false, "print the full node-by-node tree dump")
+	scan := flag.Int("scan", 0, "stream the first N snapshot records through a cursor")
 	flag.Parse()
 
-	if err := run(*policy, *ops, *u, *seed, *dump); err != nil {
+	if err := run(*policy, *ops, *u, *seed, *dump, *scan); err != nil {
 		fmt.Fprintln(os.Stderr, "tsbdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(policy string, ops int, u float64, seed int64, dump bool) error {
+func run(policy string, ops int, u float64, seed int64, dump bool, scan int) error {
 	p := experiments.Params{Ops: ops, Seed: seed}
 	res, err := experiments.RunTSB(policy, u, p)
 	if err != nil {
@@ -65,6 +70,17 @@ func run(policy string, ops int, u float64, seed int64, dump bool) error {
 		return err
 	}
 	fmt.Printf("\nper-level profile:\n%s", analysis)
+
+	if scan > 0 {
+		fmt.Printf("\nfirst %d records of the snapshot at t=%s (streamed):\n", scan, res.Tree.Now())
+		cur := res.Tree.NewCursor(res.Tree.Now(), nil, record.InfiniteBound())
+		for i := 0; i < scan && cur.Next(); i++ {
+			fmt.Printf("  %s\n", cur.Version())
+		}
+		if err := cur.Err(); err != nil {
+			return err
+		}
+	}
 
 	if dump {
 		s, err := res.Tree.Dump()

@@ -3,13 +3,13 @@ package main
 import "testing"
 
 func TestRun(t *testing.T) {
-	if err := run("tsb-lastupdate", 600, 0.5, 1, true); err != nil {
+	if err := run("tsb-lastupdate", 600, 0.5, 1, true, 5); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadPolicy(t *testing.T) {
-	if err := run("bogus", 100, 0.5, 1, false); err == nil {
+	if err := run("bogus", 100, 0.5, 1, false, 0); err == nil {
 		t.Fatal("bogus policy should fail")
 	}
 }

@@ -24,9 +24,21 @@
 // scale throughput with available cores (experiment E10,
 // BenchmarkSharded* in bench_test.go).
 //
+// Range reads stream: db.Cursor / txn.ReadTxn.Cursor (and the iter.Seq2
+// form, Range) yield a snapshot lazily, page by page, with
+// ScanOptions{Limit, Reverse, After, At, From, To} — pagination,
+// descending order, per-scan time travel, and temporal windows. A cursor
+// holds no latch between Next calls; each Next read-latches at most one
+// shard — for a single leaf-page fetch (snapshot cursors), or for one
+// shard's materialized window scan (From/To cursors) — so a Limit=1 read
+// over a 100k-version snapshot costs O(tree height) page reads
+// (BenchmarkCursorLimit1). The slice-returning scan APIs survive as thin
+// Collect wrappers.
+//
 // The benchmarks in bench_test.go regenerate every experiment and the
 // shard-scaling curves; the binaries under cmd/ print the experiment
 // tables (tsbench, including the concurrent E10 run and a -benchjson
-// perf-trajectory export), replay the paper's figures (figures), and
-// dump tree structure (tsbdump).
+// perf-trajectory export), compare archived perf points across runs
+// (benchcmp), replay the paper's figures (figures), and dump tree
+// structure — including a cursor-streamed snapshot sample — (tsbdump).
 package repro

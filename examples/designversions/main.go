@@ -87,19 +87,27 @@ func main() {
 		fmt.Printf("  %-9s q1=%-3d now=%-3d\n", s, atQ1, now)
 	}
 
-	// Fetch the full records currently in review, resolved through the
-	// primary index by <primary key, timestamp>.
-	inReview, err := d.FetchBySecondary("status", record.StringKey("review"), d.Now())
+	// Fetch records currently in review, resolved through the primary
+	// index by <primary key, timestamp> — streamed with a cursor, so
+	// showing three examples fetches three records, not all of them.
+	total, err := d.CountSecondary("status", record.StringKey("review"), d.Now())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n%d parts in review now; e.g.:\n", len(inReview))
-	for i, v := range inReview {
-		if i == 3 {
-			fmt.Println("  ...")
-			break
-		}
+	rcur, err := d.FetchBySecondaryCursor("status", record.StringKey("review"), d.Now(), db.ScanOptions{Limit: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d parts in review now; e.g.:\n", total)
+	for rcur.Next() {
+		v := rcur.Version()
 		fmt.Printf("  %s = %s\n", v.Key, v.Value)
+	}
+	if rcur.Err() != nil {
+		log.Fatal(rcur.Err())
+	}
+	if total > 3 {
+		fmt.Println("  ...")
 	}
 
 	// When did part007 enter and leave "review"? The secondary index

@@ -1,6 +1,7 @@
 // Quickstart: open a multiversion database, write through transactions,
-// and run the four query kinds the TSB-tree supports — current lookup,
-// as-of (rollback) lookup, snapshot scan, and full version history.
+// and run the query kinds the TSB-tree supports — current lookup, as-of
+// (rollback) lookup, paginated snapshot cursors, and full version
+// history.
 package main
 
 import (
@@ -64,11 +65,49 @@ func main() {
 		fmt.Printf("  t=%v  %s\n", v.Time, v.Value)
 	}
 
-	// Snapshot scan through a lock-free read-only transaction.
-	snap := d.ReadOnly()
-	vs, err := snap.Scan(nil, record.InfiniteBound())
-	if err != nil {
-		log.Fatal(err)
+	// A few more keys so pagination has something to page over.
+	for i := 0; i < 7; i++ {
+		err := d.Update(func(tx *txn.Txn) error {
+			return tx.Put(record.StringKey(fmt.Sprintf("row%02d", i)), []byte(fmt.Sprintf("payload%d", i)))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("snapshot at t=%v holds %d keys\n", snap.Timestamp(), len(vs))
+
+	// Paginated snapshot read through a lock-free read-only transaction:
+	// the cursor streams the snapshot lazily — each page is a bounded
+	// amount of work no matter how large the database is, and no latch
+	// is held between Next calls. ScanOptions.After resumes each page
+	// strictly after the last key of the previous one.
+	snap := d.ReadOnly()
+	fmt.Printf("snapshot at t=%v, three keys per page:\n", snap.Timestamp())
+	const pageSize = 3
+	var after record.Key
+	for page := 1; ; page++ {
+		n := 0
+		cur := snap.Cursor(nil, record.InfiniteBound(), db.ScanOptions{After: after, Limit: pageSize})
+		for cur.Next() {
+			v := cur.Version()
+			fmt.Printf("  page %d: %s = %s\n", page, v.Key, v.Value)
+			after = v.Key.Clone()
+			n++
+		}
+		if cur.Err() != nil {
+			log.Fatal(cur.Err())
+		}
+		if n < pageSize {
+			break
+		}
+	}
+
+	// The same snapshot in reverse, iterator form, stopping early: a
+	// "latest two rows" query that costs two leaf reads, not a scan.
+	fmt.Println("last two keys, reverse iterator:")
+	for v, err := range snap.Range(nil, record.InfiniteBound(), db.ScanOptions{Reverse: true, Limit: 2}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s = %s\n", v.Key, v.Value)
+	}
 }

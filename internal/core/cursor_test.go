@@ -64,6 +64,63 @@ func TestCursorMatchesScanAsOf(t *testing.T) {
 	}
 }
 
+func TestReverseCursorMatchesScanAsOf(t *testing.T) {
+	for _, policyName := range []string{"key-pref", "time-pref", "last-update"} {
+		p := policies()[policyName]
+		t.Run(policyName, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(53))
+			tree, _, _ := newTestTree(t, p)
+			ts := uint64(0)
+			for op := 0; op < 700; op++ {
+				ts++
+				k := record.StringKey(fmt.Sprintf("key%03d", rng.Intn(50)))
+				v := record.Version{Key: k, Time: record.Timestamp(ts)}
+				if rng.Intn(10) == 0 {
+					v.Tombstone = true
+				} else {
+					v.Value = []byte(fmt.Sprintf("v%d", ts))
+				}
+				if err := tree.Insert(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for trial := 0; trial < 40; trial++ {
+				at := record.Timestamp(1 + rng.Intn(int(ts)))
+				var low record.Key
+				high := record.InfiniteBound()
+				if trial%2 == 1 {
+					low = record.StringKey(fmt.Sprintf("key%03d", rng.Intn(50)))
+					high = record.KeyBound(record.StringKey(fmt.Sprintf("key%03d", rng.Intn(50))))
+				}
+				want, err := tree.ScanAsOf(at, low, high)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := tree.NewReverseCursor(at, low, high)
+				var got []record.Version
+				for cur.Next() {
+					got = append(got, cur.Version())
+				}
+				if cur.Err() != nil {
+					t.Fatal(cur.Err())
+				}
+				if len(got) != len(want) {
+					t.Fatalf("reverse cursor@%d [%s,%s) returned %d, scan %d", at, low, high, len(got), len(want))
+				}
+				for i := range want {
+					w := want[len(want)-1-i]
+					if !got[i].Key.Equal(w.Key) || got[i].Time != w.Time {
+						t.Fatalf("reverse cursor[%d] = %v, scan %v", i, got[i], w)
+					}
+					if i > 0 && !got[i].Key.Less(got[i-1].Key) {
+						t.Fatalf("reverse cursor out of order at %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestCursorEmptyAndExhausted(t *testing.T) {
 	tree, _, _ := newTestTree(t, PolicyLastUpdate)
 	cur := tree.NewCursor(10, nil, record.InfiniteBound())

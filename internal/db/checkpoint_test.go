@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/record"
 )
 
@@ -97,7 +98,10 @@ func TestCheckpointPreservesPendingVersions(t *testing.T) {
 	if !ok || string(v.Value) != "committed" {
 		t.Fatalf("Get after load = %v, %v", v, ok)
 	}
-	if err := d2.Tree().AbortKey(record.StringKey("k"), tx.ID()); err != nil {
+	err = d2.WithShardTree(0, func(tr *core.Tree) error {
+		return tr.AbortKey(record.StringKey("k"), tx.ID())
+	})
+	if err != nil {
 		t.Fatalf("recovery abort: %v", err)
 	}
 	if err := d2.CheckInvariants(); err != nil {

@@ -28,6 +28,28 @@
 //   - Secondary indexes are maintained during commit posting and guarded
 //     by their own reader/writer latch.
 //
+// # Streaming reads
+//
+// Range reads are cursors: Cursor (and the iter.Seq2 form, Range) yields
+// a snapshot lazily, page by page, with ScanOptions{Limit, Reverse,
+// After, At, From, To} for pagination, descending order, per-scan time
+// travel, and temporal windows. The latch contract, precisely: a cursor
+// holds NO latch between Next calls. For snapshot cursors, each Next
+// read-latches at most one shard, for the duration of a single leaf-page
+// fetch (one root-to-leaf descent), then releases it before returning;
+// crossing a shard boundary hands the latch off to the next shard in key
+// order. Window-mode cursors (From/To set) are lazier than the old API
+// but coarser than snapshot cursors: each Next materializes at most ONE
+// shard's temporal scan under that shard's read latch, so the per-Next
+// latch hold and allocation are bounded by a shard's window, not a leaf.
+// Consistency across all hand-offs comes from the snapshot timestamp,
+// not from latches — versions visible at a fixed time are immutable
+// under the non-deletion policy — so a paused or abandoned cursor never
+// blocks a writer and a Limit=1 snapshot cursor costs O(tree height)
+// page reads, not a full scan. The slice-returning
+// ScanAsOf/ScanRange/FetchBySecondary survive as thin Collect wrappers
+// over cursors.
+//
 // Typical use:
 //
 //	d, _ := db.Open(db.Config{Shards: 8})
@@ -35,11 +57,22 @@
 //	v, ok, _ := d.Get(k)              // current version
 //	v, ok, _ = d.GetAsOf(k, t)        // rollback query
 //	snap := d.ReadOnly()              // snapshot reader, no logical locks
+//
+//	// First page of the snapshot, two rows at a time:
+//	cur := snap.Cursor(low, high, db.ScanOptions{Limit: 2})
+//	for cur.Next() {
+//		use(cur.Version())
+//	}
+//	// Next page, strictly after the last key seen, iterator form:
+//	for v, err := range snap.Range(low, high, db.ScanOptions{After: lastKey, Limit: 2}) {
+//		...
+//	}
 package db
 
 import (
 	"fmt"
-	"sort"
+	"iter"
+	"slices"
 	"sync"
 
 	"repro/internal/buffer"
@@ -61,8 +94,10 @@ type Config struct {
 	// SectorSize is the WORM sector size in bytes (default 1024, the
 	// paper's "typically about one kilobyte").
 	SectorSize int
-	// BufferPages is the page-cache capacity (default 256; 0 disables
-	// caching). All shards share one pool.
+	// BufferPages is the page-cache capacity shared by all shards.
+	// 0 selects the default of 256; NoCachePages (-1, or any negative
+	// value) disables caching entirely so every page read reaches the
+	// simulated device.
 	BufferPages int
 	// Policy is the TSB-tree splitting policy (default PolicyLastUpdate,
 	// the paper's refinement).
@@ -80,6 +115,11 @@ type Config struct {
 	LeafCapacity  int
 	IndexCapacity int
 }
+
+// NoCachePages is the Config.BufferPages value that disables the page
+// cache (0 means "default capacity", so disabling needs its own
+// sentinel).
+const NoCachePages = -1
 
 // SecondaryExtract derives the secondary key from a record value. A nil
 // return means the record has no entry in that index.
@@ -124,6 +164,9 @@ func (cfg *Config) withDefaults() error {
 	}
 	if cfg.BufferPages == 0 {
 		cfg.BufferPages = 256
+	}
+	if cfg.BufferPages < 0 {
+		cfg.BufferPages = NoCachePages
 	}
 	if (cfg.Policy == core.Policy{}) {
 		cfg.Policy = core.PolicyLastUpdate
@@ -261,6 +304,28 @@ func (d *DB) GetAsOf(k record.Key, at record.Timestamp) (record.Version, bool, e
 	return d.tm.ReadAt(at).Get(k)
 }
 
+// ScanOptions configures a streaming read: Limit, Reverse, a pagination
+// resume key (After), a per-scan snapshot time (At), or a temporal
+// window (From/To). See txn.ScanOptions.
+type ScanOptions = txn.ScanOptions
+
+// Cursor is a lazy streaming read over the database. See txn.Cursor for
+// the exact latch contract (none held between Next calls).
+type Cursor = txn.Cursor
+
+// Cursor opens a streaming read over keys in [low, high) at the current
+// time (or as directed by opts): the cursor form of ScanAsOf/ScanRange,
+// through a read-only transaction that takes no logical locks.
+func (d *DB) Cursor(low record.Key, high record.Bound, opts ScanOptions) *Cursor {
+	return d.ReadOnly().Cursor(low, high, opts)
+}
+
+// Range returns a Go iterator over the versions Cursor would yield; a
+// non-nil error is yielded as the final pair.
+func (d *DB) Range(low record.Key, high record.Bound, opts ScanOptions) iter.Seq2[record.Version, error] {
+	return d.ReadOnly().Range(low, high, opts)
+}
+
 // ScanAsOf returns the snapshot of [low, high) at time at, sorted by key.
 func (d *DB) ScanAsOf(at record.Timestamp, low record.Key, high record.Bound) ([]record.Version, error) {
 	return d.tm.ReadAt(at).Scan(low, high)
@@ -310,27 +375,96 @@ func (d *DB) CountSecondary(name string, skey record.Key, at record.Timestamp) (
 	return s.index.CountAsOf(skey, at)
 }
 
-// FetchBySecondary resolves a secondary lookup through the primary index:
-// <timestamp, secondary key, primary key> entries point back at primary
-// records by key and time (§3.6).
-func (d *DB) FetchBySecondary(name string, skey record.Key, at record.Timestamp) ([]record.Version, error) {
+// SecondaryCursor streams the records that carried a secondary key at a
+// fixed time, in primary-key order (descending with ScanOptions.Reverse).
+// The primary-key list is resolved eagerly through the secondary index —
+// a short secondary-index read latch, released before the cursor is
+// returned — and the records themselves are fetched lazily from the
+// primary index, one point lookup per Next, so like every cursor it
+// holds no latch between Next calls.
+type SecondaryCursor struct {
+	reader *txn.ReadTxn
+	pks    []record.Key
+	limit  int
+	cur    record.Version
+	n      int
+	closed bool
+	err    error
+}
+
+// FetchBySecondaryCursor opens a streaming fetch of the records carrying
+// skey at time at, resolved through the primary index (§3.6). Only
+// Limit and Reverse of opts apply; the snapshot time is at.
+func (d *DB) FetchBySecondaryCursor(name string, skey record.Key, at record.Timestamp, opts ScanOptions) (*SecondaryCursor, error) {
 	pks, err := d.LookupSecondary(name, skey, at)
 	if err != nil {
 		return nil, err
 	}
-	reader := d.tm.ReadAt(at)
-	out := make([]record.Version, 0, len(pks))
-	for _, pk := range pks {
-		v, ok, err := reader.Get(pk)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, v)
-		}
+	if opts.Reverse {
+		slices.Reverse(pks)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
+	return &SecondaryCursor{reader: d.tm.ReadAt(at), pks: pks, limit: opts.Limit}, nil
+}
+
+// Next advances to the next record and reports whether one is available.
+func (c *SecondaryCursor) Next() bool {
+	if c.err != nil || c.closed {
+		return false
+	}
+	for len(c.pks) > 0 {
+		if c.limit > 0 && c.n >= c.limit {
+			return false
+		}
+		pk := c.pks[0]
+		c.pks = c.pks[1:]
+		v, ok, err := c.reader.Get(pk)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		if !ok {
+			continue
+		}
+		c.cur = v
+		c.n++
+		return true
+	}
+	return false
+}
+
+// Version returns the record the cursor is positioned on. It must only
+// be called after a successful Next.
+func (c *SecondaryCursor) Version() record.Version { return c.cur }
+
+// Err returns the first error the cursor hit, if any.
+func (c *SecondaryCursor) Err() error { return c.err }
+
+// Close terminates the cursor; it holds nothing, so Close only stops
+// further Next calls.
+func (c *SecondaryCursor) Close() error { c.closed = true; return nil }
+
+// Collect drains the cursor into a slice.
+func (c *SecondaryCursor) Collect() ([]record.Version, error) {
+	var out []record.Version
+	for c.Next() {
+		out = append(out, c.Version())
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
 	return out, nil
+}
+
+// FetchBySecondary resolves a secondary lookup through the primary index:
+// <timestamp, secondary key, primary key> entries point back at primary
+// records by key and time (§3.6). It is a thin Collect wrapper over
+// FetchBySecondaryCursor.
+func (d *DB) FetchBySecondary(name string, skey record.Key, at record.Timestamp) ([]record.Version, error) {
+	c, err := d.FetchBySecondaryCursor(name, skey, at, ScanOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return c.Collect()
 }
 
 // Stats aggregates the accounting of every component.
@@ -368,14 +502,31 @@ func (d *DB) Stats() Stats {
 // Shards returns the number of key-range partitions.
 func (d *DB) Shards() int { return len(d.store.shards) }
 
-// Tree exposes the first shard's TSB-tree: with the default single shard
-// this is the whole primary index (dump tools, invariant checks). Callers
-// must not use it while concurrent transactions run; use ShardTree for
-// the general case.
+// WithShardTree runs fn with shard i's TSB-tree while write-holding that
+// shard's latch, excluding every concurrent reader and writer of the
+// shard for the duration of fn: the safe accessor for dump tools,
+// invariant checks, and recovery surgery. fn must not retain the tree
+// past its return.
+func (d *DB) WithShardTree(i int, fn func(*core.Tree) error) error {
+	if i < 0 || i >= len(d.store.shards) {
+		return fmt.Errorf("db: shard %d outside [0,%d)", i, len(d.store.shards))
+	}
+	sh := d.store.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return fn(sh.tree)
+}
+
+// Tree exposes the first shard's TSB-tree without any latching.
+//
+// Deprecated: the returned tree races with concurrent transactions; use
+// WithShardTree, which holds the shard latch around the access.
 func (d *DB) Tree() *core.Tree { return d.store.shards[0].tree }
 
-// ShardTree exposes shard i's TSB-tree. Callers must not use it while
-// concurrent transactions run.
+// ShardTree exposes shard i's TSB-tree without any latching.
+//
+// Deprecated: the returned tree races with concurrent transactions; use
+// WithShardTree, which holds the shard latch around the access.
 func (d *DB) ShardTree(i int) *core.Tree { return d.store.shards[i].tree }
 
 // Devices exposes the simulated devices for experiment accounting.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/record"
 	"repro/internal/txn"
 )
@@ -153,8 +154,17 @@ func TestStatsAggregation(t *testing.T) {
 	if mag == nil || worm == nil {
 		t.Fatal("Devices returned nil")
 	}
-	if d.Tree() == nil {
-		t.Fatal("Tree returned nil")
+	err := d.WithShardTree(0, func(tr *core.Tree) error {
+		if tr == nil {
+			t.Fatal("WithShardTree passed nil tree")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WithShardTree(99, func(*core.Tree) error { return nil }); err == nil {
+		t.Fatal("WithShardTree accepted an out-of-range shard")
 	}
 }
 

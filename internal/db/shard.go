@@ -131,18 +131,129 @@ func (s *shardedStore) ScanAsOf(at record.Timestamp, low record.Key, high record
 
 func (s *shardedStore) ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
 	var out []record.Version
-	lo, hi := s.shardSpan(low, high)
-	for i := lo; i <= hi; i++ {
-		sh := s.shards[i]
-		sh.mu.RLock()
-		part, err := sh.tree.ScanRange(low, high, from, to)
-		sh.mu.RUnlock()
+	parts := s.RangeParts(low, high)
+	for part := 0; part < parts; part++ {
+		vs, err := s.ScanRangePart(part, low, high, from, to)
 		if err != nil {
-			return nil, fmt.Errorf("db: shard %d: %w", i, err)
+			return nil, err
 		}
-		out = append(out, part...)
+		out = append(out, vs...)
 	}
 	return out, nil
+}
+
+// RangeParts returns how many independently latched parts a temporal
+// range scan of [low, high) splits into: one per touched shard, in key
+// order (shard order equals key order, so concatenating parts preserves
+// the (key, time) result order).
+func (s *shardedStore) RangeParts(low record.Key, high record.Bound) int {
+	from, to := s.shardSpan(low, high)
+	return to - from + 1
+}
+
+// ScanRangePart materializes one part of a temporal range scan under
+// that single shard's read latch; no other latch is touched.
+func (s *shardedStore) ScanRangePart(part int, low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
+	first, _ := s.shardSpan(low, high)
+	i := first + part
+	sh := s.shards[i]
+	sh.mu.RLock()
+	out, err := sh.tree.ScanRange(low, high, from, to)
+	sh.mu.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("db: shard %d: %w", i, err)
+	}
+	return out, nil
+}
+
+// ScanPageAsOf streams one latch-scoped batch of the snapshot at time
+// at: the shard-order concatenating merge cursor of the sharded engine
+// (reverse shard order when reverse is set). It read-latches exactly one
+// shard at a time, only for the duration of that shard tree's leaf-page
+// call, releasing it before touching the next shard — the incremental
+// latch hand-off that lets a cursor pause indefinitely between pages
+// without blocking writers. Because the key space is range-partitioned
+// in shard order, pages concatenate in key order with no interleaving.
+func (s *shardedStore) ScanPageAsOf(at record.Timestamp, low record.Key, high record.Bound, reverse bool) (core.Page, error) {
+	n := len(s.shards)
+	if reverse {
+		i := n - 1
+		if !high.IsInfinite() {
+			i = record.ShardOfKey(high.Key(), n)
+		}
+		first := record.ShardOfKey(low, n)
+		hi := high
+		for {
+			shLow, _ := record.ShardRange(i, n)
+			clampLow := low
+			if low.Compare(shLow) < 0 {
+				clampLow = shLow
+			}
+			// A resumed reverse scan arrives with hi at this shard's
+			// low boundary: the window inside the shard is empty, so
+			// step down without a latched descent.
+			if !hi.IsInfinite() && hi.CompareKey(clampLow) <= 0 {
+				if i <= first {
+					return core.Page{}, nil
+				}
+				i--
+				hi = record.KeyBound(shLow)
+				continue
+			}
+			sh := s.shards[i]
+			sh.mu.RLock()
+			page, err := sh.tree.ScanPageAsOf(at, clampLow, hi, true)
+			sh.mu.RUnlock()
+			if err != nil {
+				return core.Page{}, fmt.Errorf("db: shard %d: %w", i, err)
+			}
+			if page.More || i <= first {
+				return page, nil
+			}
+			// This shard is exhausted: hand the window's high edge down
+			// to the next shard's upper boundary.
+			i--
+			next := record.KeyBound(shLow)
+			if len(page.Versions) > 0 {
+				page.NextHigh = next
+				page.More = true
+				return page, nil
+			}
+			hi = next
+		}
+	}
+	i := record.ShardOfKey(low, n)
+	last := n - 1
+	if !high.IsInfinite() {
+		last = record.ShardOfKey(high.Key(), n)
+	}
+	lo := low
+	for {
+		_, shHigh := record.ShardRange(i, n)
+		clampHigh := high
+		if shHigh.Compare(high) < 0 {
+			clampHigh = shHigh
+		}
+		sh := s.shards[i]
+		sh.mu.RLock()
+		page, err := sh.tree.ScanPageAsOf(at, lo, clampHigh, false)
+		sh.mu.RUnlock()
+		if err != nil {
+			return core.Page{}, fmt.Errorf("db: shard %d: %w", i, err)
+		}
+		if page.More || i >= last {
+			return page, nil
+		}
+		// This shard is exhausted: resume at the next shard's boundary.
+		i++
+		next := record.ShardBoundary(i, n)
+		if len(page.Versions) > 0 {
+			page.NextLow = next
+			page.More = true
+			return page, nil
+		}
+		lo = next
+	}
 }
 
 func (s *shardedStore) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
@@ -201,6 +312,8 @@ func (s *shardedStore) checkInvariants() error {
 }
 
 var (
-	_ txn.Store  = (*shardedStore)(nil)
-	_ txn.Differ = (*shardedStore)(nil)
+	_ txn.Store       = (*shardedStore)(nil)
+	_ txn.Differ      = (*shardedStore)(nil)
+	_ txn.CursorStore = (*shardedStore)(nil)
+	_ txn.PartedStore = (*shardedStore)(nil)
 )

@@ -228,16 +228,22 @@ func TestShardRoutingPlacement(t *testing.T) {
 	seen := 0
 	for i := 0; i < shards; i++ {
 		low, high := record.ShardRange(i, shards)
-		vs, err := d.ShardTree(i).ScanAsOf(d.Now(), nil, record.InfiniteBound())
+		err := d.WithShardTree(i, func(tr *core.Tree) error {
+			vs, err := tr.ScanAsOf(d.Now(), nil, record.InfiniteBound())
+			if err != nil {
+				return err
+			}
+			for _, v := range vs {
+				if v.Key.Less(low) || high.CompareKey(v.Key) <= 0 {
+					t.Fatalf("shard %d holds key %s outside [%s,%s)", i, v.Key, low, high)
+				}
+			}
+			seen += len(vs)
+			return nil
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, v := range vs {
-			if v.Key.Less(low) || high.CompareKey(v.Key) <= 0 {
-				t.Fatalf("shard %d holds key %s outside [%s,%s)", i, v.Key, low, high)
-			}
-		}
-		seen += len(vs)
 	}
 	all, err := d.ScanAsOf(d.Now(), nil, record.InfiniteBound())
 	if err != nil {
@@ -249,7 +255,11 @@ func TestShardRoutingPlacement(t *testing.T) {
 	// The binary keys must actually spread: with 48 uniform keys over 8
 	// shards an empty shard is (7/8)^48 ~ 0.2%% per shard; all-in-one
 	// would mean routing is broken.
-	if st := d.ShardTree(0).Stats(); st.Inserts == d.Stats().Tree.Inserts {
+	var shard0 core.Stats
+	if err := d.WithShardTree(0, func(tr *core.Tree) error { shard0 = tr.Stats(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if shard0.Inserts == d.Stats().Tree.Inserts {
 		t.Fatal("all inserts landed in shard 0: routing is not spreading keys")
 	}
 }

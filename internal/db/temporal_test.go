@@ -59,12 +59,12 @@ func TestDiffThroughDB(t *testing.T) {
 	}
 }
 
-func TestCursorThroughTree(t *testing.T) {
+func TestCursorThroughDB(t *testing.T) {
 	d := open(t, Config{})
 	for i := 0; i < 50; i++ {
 		put(t, d, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i))
 	}
-	cur := d.Tree().NewCursor(d.Now(), record.StringKey("k10"), record.KeyBound(record.StringKey("k20")))
+	cur := d.Cursor(record.StringKey("k10"), record.KeyBound(record.StringKey("k20")), ScanOptions{})
 	n := 0
 	var prev record.Key
 	for cur.Next() {
@@ -80,5 +80,8 @@ func TestCursorThroughTree(t *testing.T) {
 	}
 	if n != 10 {
 		t.Fatalf("cursor yielded %d keys, want 10", n)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -73,7 +73,13 @@ func runMixed(d *db.DB, m *workload.Mixed) (ops, conflicts uint64, err error) {
 					}
 					_, _, oerr = d.GetAsOf(op.Key, at)
 				case workload.OpScan:
-					_, oerr = d.ScanAsOf(d.Now(), op.Key, op.High)
+					// Stream the snapshot through the cursor API
+					// instead of materializing it: same versions
+					// visited, one shard latch held at a time.
+					cur := d.Cursor(op.Key, op.High, db.ScanOptions{})
+					for cur.Next() {
+					}
+					oerr = cur.Err()
 				}
 				if oerr != nil {
 					errCh <- fmt.Errorf("worker %d: %w", w, oerr)

@@ -66,6 +66,15 @@ func (k Key) Less(other Key) bool { return bytes.Compare(k, other) < 0 }
 // Equal reports whether the two keys are byte-wise identical.
 func (k Key) Equal(other Key) bool { return bytes.Equal(k, other) }
 
+// Successor returns the smallest key strictly greater than k: k followed
+// by a zero byte. It is the resume key for exclusive-low pagination
+// ("everything after the last row I saw").
+func (k Key) Successor() Key {
+	out := make(Key, len(k)+1)
+	copy(out, k)
+	return out
+}
+
 // Clone returns an independent copy of the key.
 func (k Key) Clone() Key {
 	if k == nil {

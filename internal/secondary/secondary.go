@@ -116,19 +116,21 @@ func skeyRange(skey record.Key) (record.Key, record.Bound, error) {
 }
 
 // LookupAsOf returns the primary keys whose record carried skey at time
-// at, sorted.
+// at, sorted. It streams the composite-key range through a tree cursor
+// instead of materializing the scan, so the page reads stay proportional
+// to the number of matches.
 func (ix *Index) LookupAsOf(skey record.Key, at record.Timestamp) ([]record.Key, error) {
 	low, high, err := skeyRange(skey)
 	if err != nil {
 		return nil, err
 	}
-	vs, err := ix.tree.ScanAsOf(at, low, high)
-	if err != nil {
-		return nil, err
+	var out []record.Key
+	cur := ix.tree.NewCursor(at, low, high)
+	for cur.Next() {
+		out = append(out, record.Key(cur.Version().Value).Clone())
 	}
-	out := make([]record.Key, 0, len(vs))
-	for _, v := range vs {
-		out = append(out, record.Key(v.Value).Clone())
+	if err := cur.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

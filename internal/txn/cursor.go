@@ -1,0 +1,274 @@
+package txn
+
+import (
+	"errors"
+	"iter"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/record"
+)
+
+// ScanOptions configures a streaming read.
+type ScanOptions struct {
+	// At overrides the read transaction's snapshot timestamp for this
+	// scan (0 keeps the transaction's own timestamp). Like ReadAt, any
+	// At <= Now() yields a consistent snapshot.
+	At record.Timestamp
+
+	// From/To, when either is nonzero, switch the cursor to the
+	// temporal range query: it yields the versions of each key valid at
+	// any moment in [From, To), ordered by (key, time) — ScanRange's
+	// contract, streamed one key-range shard at a time. From/To cannot
+	// be combined with At.
+	From, To record.Timestamp
+
+	// After, when non-nil, starts the scan strictly after this key,
+	// overriding the low bound: the pagination resume position ("the
+	// last key of the previous page"). Ignored by reverse scans, whose
+	// resume position is the high bound.
+	After record.Key
+
+	// Limit bounds how many versions the cursor yields (0 = no limit).
+	Limit int
+
+	// Reverse yields versions in descending order (descending (key,
+	// time) in window mode).
+	Reverse bool
+}
+
+// ErrCursorOptions is returned by a cursor whose options conflict.
+var ErrCursorOptions = errors.New("txn: ScanOptions.At cannot be combined with From/To")
+
+// CursorStore is the streaming extension of Store: it serves a snapshot
+// one latch-scoped page at a time (one leaf per call, found by one
+// root-to-leaf descent). *core.Tree and the db layer's shard router
+// implement it; a Store without it falls back to a materializing scan.
+type CursorStore interface {
+	Store
+	ScanPageAsOf(at record.Timestamp, low record.Key, high record.Bound, reverse bool) (core.Page, error)
+}
+
+// PartedStore is implemented by stores whose temporal range scans split
+// into independently latched parts in key order (the db layer's shard
+// router: one part per key-range shard). A window cursor over a
+// PartedStore materializes one part at a time instead of the whole
+// result.
+type PartedStore interface {
+	RangeParts(low record.Key, high record.Bound) int
+	ScanRangePart(part int, low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error)
+}
+
+// Cursor is a lazy, resumable read: versions stream in key order (or in
+// (key, time) order in window mode) as Next is called, instead of
+// arriving as one materialized slice.
+//
+// No latch is held between Next calls. Each Next holds at most one shard
+// latch, for the duration of a single leaf-page read (snapshot mode) or
+// a single shard's window scan (window mode); the snapshot-timestamp
+// contract survives the latch hand-offs because versions visible at the
+// cursor's timestamp are immutable. Abandoning a cursor mid-iteration
+// therefore leaks nothing and can never block a writer; Close exists to
+// make early termination explicit.
+//
+// A Cursor must be confined to one goroutine at a time, like the ReadTxn
+// that produced it.
+type Cursor struct {
+	store Store
+	at    record.Timestamp
+	low   record.Key
+	high  record.Bound
+	opts  ScanOptions
+
+	// window-mode progress: parts remaining, next part to fetch.
+	window bool
+	part   int
+	parts  int
+
+	buf    []record.Version
+	pos    int
+	n      int
+	done   bool
+	closed bool
+	err    error
+}
+
+// newCursor builds a cursor over store; at is the snapshot timestamp the
+// producing transaction carries.
+func newCursor(store Store, at record.Timestamp, low record.Key, high record.Bound, opts ScanOptions) *Cursor {
+	if opts.After != nil && !opts.Reverse {
+		low = opts.After.Successor()
+	}
+	c := &Cursor{store: store, at: at, low: low.Clone(), high: high, opts: opts}
+	if opts.From != 0 || opts.To != 0 {
+		if opts.At != 0 {
+			c.err = ErrCursorOptions
+			return c
+		}
+		c.window = true
+		c.parts = 1
+		if ps, ok := store.(PartedStore); ok {
+			c.parts = ps.RangeParts(c.low, c.high)
+		}
+		if opts.To <= opts.From {
+			c.done = true // empty time window, like ScanRange
+		}
+		return c
+	}
+	if opts.At != 0 {
+		c.at = opts.At
+	}
+	return c
+}
+
+// Cursor opens a streaming read over keys in [low, high) at the
+// transaction's snapshot timestamp (or as directed by opts). It takes no
+// logical locks, like every read-only transaction.
+func (r *ReadTxn) Cursor(low record.Key, high record.Bound, opts ScanOptions) *Cursor {
+	return newCursor(r.m.store, r.at, low, high, opts)
+}
+
+// Range returns a Go iterator over the versions a Cursor with the same
+// arguments would yield. A non-nil error, if any, is yielded as the
+// final pair. Breaking out of the loop early releases nothing because
+// nothing is held — see Cursor.
+func (r *ReadTxn) Range(low record.Key, high record.Bound, opts ScanOptions) iter.Seq2[record.Version, error] {
+	return func(yield func(record.Version, error) bool) {
+		c := r.Cursor(low, high, opts)
+		defer c.Close()
+		for c.Next() {
+			if !yield(c.Version(), nil) {
+				return
+			}
+		}
+		if err := c.Err(); err != nil {
+			yield(record.Version{}, err)
+		}
+	}
+}
+
+// Next advances to the next version and reports whether one is
+// available. It returns false once the window is exhausted, the Limit is
+// reached, the cursor is closed, or an error occurred (see Err).
+func (c *Cursor) Next() bool {
+	if c.err != nil || c.closed {
+		return false
+	}
+	if c.opts.Limit > 0 && c.n >= c.opts.Limit {
+		return false
+	}
+	for {
+		if c.pos < len(c.buf) {
+			c.pos++
+			c.n++
+			return true
+		}
+		if c.done {
+			return false
+		}
+		if err := c.fill(); err != nil {
+			c.err = err
+			return false
+		}
+	}
+}
+
+// fill fetches the next latch-scoped batch: one leaf page in snapshot
+// mode, one part's window scan in window mode, or — for a Store without
+// streaming support — the whole materialized result at once.
+func (c *Cursor) fill() error {
+	if c.window {
+		return c.fillWindow()
+	}
+	cs, ok := c.store.(CursorStore)
+	if !ok {
+		vs, err := c.store.ScanAsOf(c.at, c.low, c.high)
+		if err != nil {
+			return err
+		}
+		if c.opts.Reverse {
+			slices.Reverse(vs)
+		}
+		c.buf, c.pos, c.done = vs, 0, true
+		return nil
+	}
+	p, err := cs.ScanPageAsOf(c.at, c.low, c.high, c.opts.Reverse)
+	if err != nil {
+		return err
+	}
+	c.buf, c.pos = p.Versions, 0
+	c.low, c.high, c.done = p.Advance(c.low, c.high, c.opts.Reverse)
+	return nil
+}
+
+// fillWindow fetches the next part of a temporal range query (parts run
+// back to front when reversing).
+func (c *Cursor) fillWindow() error {
+	if c.part >= c.parts {
+		c.done = true
+		return nil
+	}
+	part := c.part
+	if c.opts.Reverse {
+		part = c.parts - 1 - c.part
+	}
+	var vs []record.Version
+	var err error
+	if ps, ok := c.store.(PartedStore); ok {
+		vs, err = ps.ScanRangePart(part, c.low, c.high, c.opts.From, c.opts.To)
+	} else {
+		vs, err = c.store.ScanRange(c.low, c.high, c.opts.From, c.opts.To)
+	}
+	if err != nil {
+		return err
+	}
+	if c.opts.Reverse {
+		slices.Reverse(vs)
+	}
+	c.part++
+	c.buf, c.pos = vs, 0
+	if c.part >= c.parts {
+		c.done = true
+	}
+	return nil
+}
+
+// Version returns the version the cursor is positioned on. It must only
+// be called after a successful Next.
+func (c *Cursor) Version() record.Version { return c.buf[c.pos-1] }
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Timestamp returns the snapshot time the cursor reads at (0 in window
+// mode, where From/To select versions instead).
+func (c *Cursor) Timestamp() record.Timestamp {
+	if c.window {
+		return 0
+	}
+	return c.at
+}
+
+// Close terminates the cursor. It is idempotent and always safe: a
+// cursor holds no latch between Next calls, so Close releases no
+// resources — it only makes further Next calls return false.
+func (c *Cursor) Close() error {
+	c.closed = true
+	return nil
+}
+
+// Collect drains the cursor into a slice: the bridge from the streaming
+// API back to the materializing one. The legacy Scan/ScanRange methods
+// are implemented with it.
+func (c *Cursor) Collect() ([]record.Version, error) {
+	var out []record.Version
+	for c.Next() {
+		out = append(out, c.Version())
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return out, nil
+}
+
+var _ CursorStore = (*core.Tree)(nil)

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -75,6 +76,27 @@ func (l *LatchedStore) ScanRange(low record.Key, high record.Bound, from, to rec
 	return l.s.ScanRange(low, high, from, to)
 }
 
+// ScanPageAsOf streams one leaf page under a short shared latch, held
+// only for the duration of this call: the single-shard form of the
+// incremental latch hand-off the db layer's shard router performs.
+// When the wrapped store cannot stream, the page is the whole
+// materialized scan (with More=false).
+func (l *LatchedStore) ScanPageAsOf(at record.Timestamp, low record.Key, high record.Bound, reverse bool) (core.Page, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if cs, ok := l.s.(CursorStore); ok {
+		return cs.ScanPageAsOf(at, low, high, reverse)
+	}
+	vs, err := l.s.ScanAsOf(at, low, high)
+	if err != nil {
+		return core.Page{}, err
+	}
+	if reverse {
+		slices.Reverse(vs)
+	}
+	return core.Page{Versions: vs}, nil
+}
+
 // Diff forwards to the wrapped store when it supports time-travel diffs.
 func (l *LatchedStore) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
 	differ, ok := l.s.(Differ)
@@ -87,6 +109,7 @@ func (l *LatchedStore) Diff(low record.Key, high record.Bound, from, to record.T
 }
 
 var (
-	_ Store  = (*LatchedStore)(nil)
-	_ Differ = (*LatchedStore)(nil)
+	_ Store       = (*LatchedStore)(nil)
+	_ Differ      = (*LatchedStore)(nil)
+	_ CursorStore = (*LatchedStore)(nil)
 )

@@ -36,6 +36,17 @@
 // Tx); distinct handles may be used from distinct goroutines freely.
 // ReadAt is consistent for any at <= Now(); reading "in the future" during
 // concurrent commits may observe a commit mid-posting.
+//
+// # Streaming reads
+//
+// Range reads stream: ReadTxn.Cursor (and the iter.Seq2 form,
+// ReadTxn.Range) yields versions lazily with pagination, reverse order,
+// and early termination as first-class options (ScanOptions). A cursor
+// holds no latch between Next calls — each Next latches at most one
+// shard for one leaf-page read — and stays consistent across the latch
+// hand-offs because the versions visible at its snapshot timestamp are
+// immutable. The slice-returning Scan and ScanRange survive as thin
+// Collect wrappers over the cursor.
 package txn
 
 import (
@@ -393,9 +404,13 @@ func (m *Manager) History(k record.Key) ([]record.Version, error) {
 }
 
 // ScanRange returns the versions of keys in [low, high) valid at any
-// moment in the time window [from, to): the general temporal range query.
+// moment in the time window [from, to): the general temporal range
+// query, as a thin Collect wrapper over the streaming cursor.
 func (m *Manager) ScanRange(low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error) {
-	return m.store.ScanRange(low, high, from, to)
+	if to <= from {
+		return nil, nil
+	}
+	return newCursor(m.store, m.Now(), low, high, ScanOptions{From: from, To: to}).Collect()
 }
 
 // Differ is implemented by stores that support time-travel diffs
@@ -425,9 +440,12 @@ func (r *ReadTxn) Get(k record.Key) (record.Version, bool, error) {
 }
 
 // Scan returns the snapshot of [low, high) at the reader's timestamp —
-// the backup/unload path of §4.1, which takes no logical locks.
+// the backup/unload path of §4.1, which takes no logical locks. It is a
+// thin Collect wrapper over Cursor; callers that want pagination, a
+// limit, reverse order, or early termination should use Cursor or Range
+// directly.
 func (r *ReadTxn) Scan(low record.Key, high record.Bound) ([]record.Version, error) {
-	return r.m.store.ScanAsOf(r.at, low, high)
+	return r.Cursor(low, high, ScanOptions{}).Collect()
 }
 
 // Update runs fn inside a transaction, committing on success and aborting
