@@ -1,8 +1,13 @@
 // Command benchcmp compares two BENCH_E10.json files (the perf-trajectory
-// points tsbench -benchjson emits) and prints the throughput delta per
-// shard count — the "compare across PRs" half of the benchmark
-// trajectory: CI archives each run's point and diffs it against the
-// previous run on main.
+// points tsbench -benchjson emits) and prints the delta per point — the
+// "compare across PRs" half of the benchmark trajectory: CI archives each
+// run's points and diffs them against the previous run on main.
+//
+// Points are keyed by (experiment, shards). The E10 throughput curve
+// diffs on ops/sec; the cursor-limit1 point on page reads per cursor
+// (lower is better); the put-latency point on microseconds per put
+// (lower is better); the group-commit point on ops/sec and additionally
+// reports the records-per-fsync amortization shift.
 //
 // Usage:
 //
@@ -20,15 +25,25 @@ import (
 	"sort"
 )
 
-// point mirrors the benchPoint schema tsbench writes.
+// point mirrors the benchPoint schema tsbench writes. Old archives
+// predate the extra metric fields; zero values mean "not measured".
 type point struct {
-	Experiment string  `json:"experiment"`
-	Shards     int     `json:"shards"`
-	Workers    int     `json:"workers"`
-	Ops        uint64  `json:"ops"`
-	Conflicts  uint64  `json:"conflicts"`
-	ElapsedSec float64 `json:"elapsed_sec"`
-	OpsPerSec  float64 `json:"ops_per_sec"`
+	Experiment     string  `json:"experiment"`
+	Shards         int     `json:"shards"`
+	Workers        int     `json:"workers"`
+	Ops            uint64  `json:"ops"`
+	Conflicts      uint64  `json:"conflicts"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	PageReads      float64 `json:"page_reads,omitempty"`
+	AvgPutMicros   float64 `json:"avg_put_us,omitempty"`
+	RecordsPerSync float64 `json:"records_per_sync,omitempty"`
+}
+
+// key identifies a trajectory point across runs.
+type key struct {
+	experiment string
+	shards     int
 }
 
 func main() {
@@ -44,7 +59,7 @@ func main() {
 	fmt.Print(out)
 }
 
-func load(path string) (map[int]point, error) {
+func load(path string) (map[key]point, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -53,15 +68,31 @@ func load(path string) (map[int]point, error) {
 	if err := json.Unmarshal(data, &pts); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	byShards := make(map[int]point, len(pts))
+	byKey := make(map[key]point, len(pts))
 	for _, p := range pts {
-		byShards[p.Shards] = p
+		exp := p.Experiment
+		if exp == "" {
+			exp = "E10-concurrent-mixed"
+		}
+		byKey[key{exp, p.Shards}] = p
 	}
-	return byShards, nil
+	return byKey, nil
 }
 
-// compare renders the old-vs-new table. Shard counts present in only one
-// file are reported as such rather than dropped.
+// metric names the quantity a point is compared on.
+func metric(p point) (name string, value float64, lowerIsBetter bool) {
+	switch {
+	case p.PageReads > 0:
+		return "pagereads/op", p.PageReads, true
+	case p.AvgPutMicros > 0:
+		return "us/put", p.AvgPutMicros, true
+	default:
+		return "ops/sec", p.OpsPerSec, false
+	}
+}
+
+// compare renders the old-vs-new table. Points present in only one file
+// are reported as such rather than dropped.
 func compare(oldPath, newPath string) (string, error) {
 	oldPts, err := load(oldPath)
 	if err != nil {
@@ -71,34 +102,66 @@ func compare(oldPath, newPath string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	shardSet := make(map[int]bool)
-	for s := range oldPts {
-		shardSet[s] = true
+	keySet := make(map[key]bool)
+	for k := range oldPts {
+		keySet[k] = true
 	}
-	for s := range newPts {
-		shardSet[s] = true
+	for k := range newPts {
+		keySet[k] = true
 	}
-	var shards []int
-	for s := range shardSet {
-		shards = append(shards, s)
+	keys := make([]key, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
 	}
-	sort.Ints(shards)
-	out := fmt.Sprintf("%-8s %14s %14s %9s\n", "shards", "old ops/sec", "new ops/sec", "delta")
-	for _, s := range shards {
-		o, haveOld := oldPts[s]
-		n, haveNew := newPts[s]
+	sort.Slice(keys, func(i, j int) bool {
+		// The E10 curve first (the historical table), then the extra
+		// trajectory points alphabetically.
+		ei, ej := keys[i].experiment == "E10-concurrent-mixed", keys[j].experiment == "E10-concurrent-mixed"
+		if ei != ej {
+			return ei
+		}
+		if keys[i].experiment != keys[j].experiment {
+			return keys[i].experiment < keys[j].experiment
+		}
+		return keys[i].shards < keys[j].shards
+	})
+
+	out := fmt.Sprintf("%-28s %-12s %14s %14s %9s\n", "point", "metric", "old", "new", "delta")
+	for _, k := range keys {
+		label := fmt.Sprintf("%s/shards=%d", k.experiment, k.shards)
+		o, haveOld := oldPts[k]
+		n, haveNew := newPts[k]
 		switch {
 		case !haveOld:
-			out += fmt.Sprintf("%-8d %14s %14.0f %9s\n", s, "-", n.OpsPerSec, "new")
+			name, v, _ := metric(n)
+			out += fmt.Sprintf("%-28s %-12s %14s %14.1f %9s\n", label, name, "-", v, "new")
 		case !haveNew:
-			out += fmt.Sprintf("%-8d %14.0f %14s %9s\n", s, o.OpsPerSec, "-", "gone")
+			name, v, _ := metric(o)
+			out += fmt.Sprintf("%-28s %-12s %14.1f %14s %9s\n", label, name, v, "-", "gone")
 		default:
-			delta := 0.0
-			if o.OpsPerSec > 0 {
-				delta = (n.OpsPerSec - o.OpsPerSec) / o.OpsPerSec * 100
+			name, nv, lower := metric(n)
+			_, ov, _ := metric(o)
+			out += fmt.Sprintf("%-28s %-12s %14.1f %14.1f %s\n", label, name, ov, nv, deltaStr(ov, nv, lower))
+			if o.RecordsPerSync > 0 || n.RecordsPerSync > 0 {
+				out += fmt.Sprintf("%-28s %-12s %14.2f %14.2f %s\n",
+					label, "commits/sync", o.RecordsPerSync, n.RecordsPerSync,
+					deltaStr(o.RecordsPerSync, n.RecordsPerSync, false))
 			}
-			out += fmt.Sprintf("%-8d %14.0f %14.0f %+8.1f%%\n", s, o.OpsPerSec, n.OpsPerSec, delta)
 		}
 	}
 	return out, nil
+}
+
+// deltaStr renders the relative change, flagging regressions (a
+// regression is "got bigger" for lower-is-better metrics).
+func deltaStr(old, new float64, lowerIsBetter bool) string {
+	if old == 0 {
+		return fmt.Sprintf("%9s", "n/a")
+	}
+	pct := (new - old) / old * 100
+	s := fmt.Sprintf("%+8.1f%%", pct)
+	if lowerIsBetter && pct > 10 || !lowerIsBetter && pct < -10 {
+		s += "  <-- regression?"
+	}
+	return s
 }

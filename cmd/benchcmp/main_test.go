@@ -37,8 +37,63 @@ func TestCompare(t *testing.T) {
 		}
 	}
 	// Rows ordered by shard count.
-	if strings.Index(out, "\n1 ") > strings.Index(out, "\n8 ") && strings.Index(out, "\n8 ") >= 0 {
+	i1 := strings.Index(out, "shards=1 ")
+	i8 := strings.Index(out, "shards=8 ")
+	if i1 < 0 || i8 < 0 || i1 > i8 {
 		t.Errorf("rows out of order:\n%s", out)
+	}
+}
+
+func TestCompareExtraTrajectoryPoints(t *testing.T) {
+	dir := t.TempDir()
+	// An old archive predating the extra points diffs cleanly against a
+	// new one that has them.
+	oldJSON := `[
+	 {"experiment":"E10-concurrent-mixed","shards":1,"ops":8000,"ops_per_sec":1000},
+	 {"experiment":"cursor-limit1","shards":1,"ops":50,"page_reads":6.0},
+	 {"experiment":"put-latency","shards":1,"ops":2000,"avg_put_us":40.0}
+	]`
+	newJSON := `[
+	 {"experiment":"E10-concurrent-mixed","shards":1,"ops":8000,"ops_per_sec":1000},
+	 {"experiment":"cursor-limit1","shards":1,"ops":50,"page_reads":9.0},
+	 {"experiment":"put-latency","shards":1,"ops":2000,"avg_put_us":20.0},
+	 {"experiment":"group-commit","shards":8,"workers":8,"ops":8000,"ops_per_sec":9000,"records_per_sync":3.5}
+	]`
+	out, err := compare(write(t, dir, "old.json", oldJSON), write(t, dir, "new.json", newJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page reads went up 50%: flagged as a regression (lower is better).
+	if !strings.Contains(out, "pagereads/op") || !strings.Contains(out, "+50.0%  <-- regression?") {
+		t.Errorf("missing page-read regression flag:\n%s", out)
+	}
+	// Put latency halved: an improvement, not flagged.
+	if !strings.Contains(out, "us/put") || !strings.Contains(out, "-50.0%") {
+		t.Errorf("missing put-latency delta:\n%s", out)
+	}
+	if strings.Contains(out, "-50.0%  <-- regression?") {
+		t.Errorf("improvement wrongly flagged:\n%s", out)
+	}
+	// The group-commit point is new, with its amortization column.
+	if !strings.Contains(out, "group-commit/shards=8") {
+		t.Errorf("missing group-commit point:\n%s", out)
+	}
+	// The E10 curve still leads the table.
+	if strings.Index(out, "E10-concurrent-mixed") > strings.Index(out, "cursor-limit1") {
+		t.Errorf("E10 rows should come first:\n%s", out)
+	}
+}
+
+func TestCompareAmortizationColumn(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `[{"experiment":"group-commit","shards":8,"ops_per_sec":5000,"records_per_sync":2.0}]`
+	newJSON := `[{"experiment":"group-commit","shards":8,"ops_per_sec":6000,"records_per_sync":4.0}]`
+	out, err := compare(write(t, dir, "old.json", oldJSON), write(t, dir, "new.json", newJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "commits/sync") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("missing amortization delta:\n%s", out)
 	}
 }
 

@@ -5,20 +5,30 @@
 // Usage:
 //
 //	tsbdump [-policy NAME] [-ops N] [-u FRACTION] [-dump] [-seed N] [-scan N]
+//	tsbdump -waldir DIR
 //
 // -scan N streams the first N records of the current snapshot through the
 // lazy cursor API — pagination over the tree, not a materialized scan.
+//
+// -waldir DIR inspects a durable database directory instead: the
+// checkpoint header (format, shards, clock, LSN boundary, secondary
+// indexes) and every WAL segment frame by frame — LSN, transaction,
+// commit time, write-set size — ending with whether the tail is clean or
+// torn. It reads without locking; safe on a live or crashed directory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -29,12 +39,72 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	dump := flag.Bool("dump", false, "print the full node-by-node tree dump")
 	scan := flag.Int("scan", 0, "stream the first N snapshot records through a cursor")
+	waldir := flag.String("waldir", "", "inspect a durable database directory (checkpoint + WAL) and exit")
 	flag.Parse()
 
+	if *waldir != "" {
+		if err := dumpWALDir(os.Stdout, *waldir); err != nil {
+			fmt.Fprintln(os.Stderr, "tsbdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*policy, *ops, *u, *seed, *dump, *scan); err != nil {
 		fmt.Fprintln(os.Stderr, "tsbdump:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpWALDir prints a durable directory's checkpoint header and a
+// frame-by-frame listing of every WAL segment.
+func dumpWALDir(w io.Writer, dir string) error {
+	info, found, err := wal.ReadCheckpointInfo(dir)
+	if err != nil {
+		return err
+	}
+	if found {
+		fmt.Fprintf(w, "checkpoint: format v%d, %d shard(s), clock=%s, LSN boundary %d\n",
+			wal.CheckpointFormatVersion, info.Shards, info.Clock, info.LSN)
+		if len(info.Secondaries) > 0 {
+			fmt.Fprintf(w, "secondary indexes: %s\n", strings.Join(info.Secondaries, ", "))
+		}
+	} else {
+		fmt.Fprintln(w, "checkpoint: none")
+	}
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		fmt.Fprintln(w, "wal: no segments")
+		return nil
+	}
+	total := 0
+	for _, seg := range segs {
+		fmt.Fprintf(w, "segment %d (%s):\n", seg.Index, seg.Path)
+		n := 0
+		_, clean, err := wal.ReplayFile(seg.Path, 0, func(lsn uint64, rec txn.CommitRecord) error {
+			covered := ""
+			if found && lsn <= info.LSN {
+				covered = "  [in checkpoint]"
+			}
+			fmt.Fprintf(w, "  lsn %-6d txn %-6d t=%-8s %d key(s)%s\n",
+				lsn, rec.TxnID, rec.Time, len(rec.Versions), covered)
+			n++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		total += n
+		if clean {
+			fmt.Fprintf(w, "  tail: clean (%d record(s))\n", n)
+		} else {
+			fmt.Fprintf(w, "  tail: TORN after %d intact record(s) — recovery stops here\n", n)
+		}
+	}
+	fmt.Fprintf(w, "total: %d commit record(s) across %d segment(s)\n", total, len(segs))
+	return nil
 }
 
 func run(policy string, ops int, u float64, seed int64, dump bool, scan int) error {

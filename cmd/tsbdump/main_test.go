@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
 
 func TestRun(t *testing.T) {
 	if err := run("tsb-lastupdate", 600, 0.5, 1, true, 5); err != nil {
@@ -11,5 +18,46 @@ func TestRun(t *testing.T) {
 func TestRunRejectsBadPolicy(t *testing.T) {
 	if err := run("bogus", 100, 0.5, 1, false, 0); err == nil {
 		t.Fatal("bogus policy should fail")
+	}
+}
+
+func TestDumpWALDir(t *testing.T) {
+	dir := t.TempDir()
+	d, err := db.Open(db.Config{Dir: dir, Shards: 2, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err := d.Update(func(tx *txn.Txn) error {
+			return tx.Put(record.StringKey("key"), []byte("v"))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := dumpWALDir(&sb, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"checkpoint: format v3", "2 shard(s)", "lsn 5", "tail: clean", "5 commit record(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpWALDirEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := dumpWALDir(&sb, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "checkpoint: none") || !strings.Contains(out, "no segments") {
+		t.Errorf("empty dir dump:\n%s", out)
 	}
 }

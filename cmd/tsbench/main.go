@@ -1,15 +1,18 @@
-// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E10)
+// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E11)
 // and prints their tables: the measurement plan stated in §3.2/§5 of
-// Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, and
-// the concurrent sharded-engine scaling run (E10).
+// Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, the
+// concurrent sharded-engine scaling run (E10), and the group-commit
+// fsync-amortization run (E11, durable mode in a temp directory).
 //
 // Usage:
 //
 //	tsbench [-exp all|E1,E2,...] [-ops N] [-value BYTES] [-seed N]
 //	        [-shards 1,2,4,8] [-workers N] [-benchjson FILE]
 //
-// -benchjson writes the E10 throughput points as JSON, so CI can archive
-// a perf trajectory across commits.
+// -benchjson writes the E10 throughput points as JSON — plus the cursor
+// page-read, put-latency, and group-commit trajectory points — so CI can
+// archive a perf trajectory across commits covering writes, reads, and
+// durability.
 package main
 
 import (
@@ -25,7 +28,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma-separated E1..E10, or 'all')")
+	expFlag := flag.String("exp", "all", "experiments to run (comma-separated E1..E11, or 'all')")
 	ops := flag.Int("ops", 20000, "operations per run")
 	value := flag.Int("value", 32, "record payload bytes")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -56,7 +59,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 10; i++ {
+		for i := 1; i <= 11; i++ {
 			want[fmt.Sprintf("E%d", i)] = true
 		}
 	} else {
@@ -132,28 +135,82 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 		}
 		fmt.Println(tab)
 	}
+	opsPerWorker := p.Ops / workers
+	if opsPerWorker == 0 {
+		opsPerWorker = 1
+	}
+	var e10 []benchPoint
 	if want["E10"] {
-		opsPerWorker := p.Ops / workers
-		if opsPerWorker == 0 {
-			opsPerWorker = 1
-		}
 		results, tab, err := experiments.E10Concurrent(shardCounts, workers, opsPerWorker, p.Seed, p.ValueSize)
 		if err != nil {
 			return err
 		}
 		fmt.Println(tab)
-		if benchJSON != "" {
-			if err := writeBenchJSON(benchJSON, results); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", benchJSON)
+		e10 = e10Points(results)
+	}
+	archive := benchJSON != ""
+	// One group-commit run serves both the printed E11 table and the
+	// archived trajectory point.
+	var gcPoint *benchPoint
+	if want["E11"] || archive {
+		dir, err := os.MkdirTemp("", "tsbench-e11-*")
+		if err != nil {
+			return err
 		}
+		defer os.RemoveAll(dir)
+		gc, tab, err := experiments.E11GroupCommit(dir, workers, opsPerWorker)
+		if err != nil {
+			return err
+		}
+		if want["E11"] {
+			fmt.Println(tab)
+		}
+		gcPoint = &benchPoint{
+			Experiment: "group-commit", Shards: 8, Workers: gc.Workers, Ops: gc.Commits,
+			ElapsedSec: gc.Elapsed.Seconds(), OpsPerSec: gc.OpsPerSec,
+			RecordsPerSync: gc.RecordsPerSync,
+		}
+	}
+	if archive {
+		extra, err := trajectoryPoints(p)
+		if err != nil {
+			return err
+		}
+		points := append(e10, extra...)
+		points = append(points, *gcPoint)
+		if err := writeBenchJSON(benchJSON, points); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", benchJSON)
 	}
 	return nil
 }
 
-// benchPoint is the archived perf-trajectory record: one throughput point
-// per shard count.
+// trajectoryPoints runs the small extra measurements archived alongside
+// the E10 throughput curve: cursor page reads (the streaming-read
+// headline) and a single-shard put-latency baseline — so the perf
+// trajectory covers reads and latency, not just write throughput. (The
+// group-commit durability point is measured once in run and appended
+// there.)
+func trajectoryPoints(p experiments.Params) ([]benchPoint, error) {
+	reads, err := experiments.CursorPageReads(20_000, 50)
+	if err != nil {
+		return nil, fmt.Errorf("cursor page reads: %w", err)
+	}
+	putOps := min(p.Ops, 2000)
+	lat, err := experiments.PutLatency(putOps)
+	if err != nil {
+		return nil, fmt.Errorf("put latency: %w", err)
+	}
+	return []benchPoint{
+		{Experiment: "cursor-limit1", Shards: 1, Ops: 50, PageReads: reads},
+		{Experiment: "put-latency", Shards: 1, Workers: 1, Ops: uint64(putOps), AvgPutMicros: lat},
+	}, nil
+}
+
+// benchPoint is the archived perf-trajectory record: one E10 throughput
+// point per shard count, plus the cursor page-read, put-latency, and
+// group-commit points (each with its own metric fields).
 type benchPoint struct {
 	Experiment string  `json:"experiment"`
 	Shards     int     `json:"shards"`
@@ -162,9 +219,18 @@ type benchPoint struct {
 	Conflicts  uint64  `json:"conflicts"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// PageReads is buffer-pool fetches per Limit=1 cursor open
+	// (cursor-limit1 points).
+	PageReads float64 `json:"page_reads,omitempty"`
+	// AvgPutMicros is the mean single-shard committed-write latency
+	// (put-latency points).
+	AvgPutMicros float64 `json:"avg_put_us,omitempty"`
+	// RecordsPerSync is commit records per fsync (group-commit points).
+	RecordsPerSync float64 `json:"records_per_sync,omitempty"`
 }
 
-func writeBenchJSON(path string, results []experiments.E10Result) error {
+// e10Points converts the E10 results to archive records.
+func e10Points(results []experiments.E10Result) []benchPoint {
 	points := make([]benchPoint, 0, len(results))
 	for _, r := range results {
 		points = append(points, benchPoint{
@@ -177,6 +243,10 @@ func writeBenchJSON(path string, results []experiments.E10Result) error {
 			OpsPerSec:  r.OpsPerSec,
 		})
 	}
+	return points
+}
+
+func writeBenchJSON(path string, points []benchPoint) error {
 	data, err := json.MarshalIndent(points, "", "  ")
 	if err != nil {
 		return err

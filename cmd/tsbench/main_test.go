@@ -42,8 +42,26 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &points); err != nil {
 		t.Fatalf("bench json: %v\n%s", err, data)
 	}
-	if len(points) != 2 || points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
-		t.Fatalf("unexpected bench points: %+v", points)
+	// Two E10 curve points plus the three trajectory points (cursor page
+	// reads, put latency, group commit).
+	if len(points) != 5 {
+		t.Fatalf("got %d bench points: %+v", len(points), points)
+	}
+	if points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
+		t.Fatalf("unexpected E10 points: %+v", points[:2])
+	}
+	byExp := map[string]benchPoint{}
+	for _, p := range points {
+		byExp[p.Experiment] = p
+	}
+	if p := byExp["cursor-limit1"]; p.PageReads <= 0 {
+		t.Errorf("cursor-limit1 point = %+v", p)
+	}
+	if p := byExp["put-latency"]; p.AvgPutMicros <= 0 {
+		t.Errorf("put-latency point = %+v", p)
+	}
+	if p := byExp["group-commit"]; p.RecordsPerSync <= 0 || p.OpsPerSec <= 0 {
+		t.Errorf("group-commit point = %+v", p)
 	}
 }
 

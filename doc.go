@@ -12,8 +12,11 @@
 //     also defines the shard-boundary key codec);
 //   - internal/txn, internal/secondary, internal/db: the §4/§3.6
 //     transaction and secondary-index layers and the engine facade;
+//   - internal/wal: the durability subsystem — a CRC-framed,
+//     fsync-batched write-ahead log of commit records plus logical
+//     checkpoints;
 //   - internal/workload, internal/metrics, internal/experiments: the
-//     evaluation harness (experiments E1-E10, see EXPERIMENTS.md).
+//     evaluation harness (experiments E1-E11, see EXPERIMENTS.md).
 //
 // The engine is concurrent and sharded: db.Config.Shards partitions the
 // key space across N independent TSB-trees (key-range sharding, so range
@@ -23,6 +26,18 @@
 // (the default) reproduces the paper's single-tree system; higher counts
 // scale throughput with available cores (experiment E10,
 // BenchmarkSharded* in bench_test.go).
+//
+// The engine is durable when opened with db.Config.Dir: committed =
+// logged + fsynced — a commit is acknowledged only once its redo record
+// (the stamped write set) is durable in the write-ahead log, and group
+// commit coalesces concurrently-arriving committers into one log append,
+// one fsync, and one clock advance (BenchmarkGroupCommit reports the
+// commits-per-fsync amortization). Crash recovery reloads the latest
+// checkpoint and replays the log tail, stopping at the first torn frame;
+// background incremental checkpoints truncate the log without stopping
+// writers. See the internal/db package documentation for the exact
+// durability contract, and `tsbdump -waldir DIR` to inspect a durable
+// directory.
 //
 // Range reads stream: db.Cursor / txn.ReadTxn.Cursor (and the iter.Seq2
 // form, Range) yield a snapshot lazily, page by page, with

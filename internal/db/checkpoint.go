@@ -2,6 +2,7 @@ package db
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -12,6 +13,14 @@ import (
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
+
+// ErrActiveTransactions is returned by SaveTo when updating transactions
+// are in flight: a whole-image checkpoint taken mid-transaction would be
+// torn (in-flight Txn handles do not survive a load, stranding their
+// pending versions and locks). Commit or abort every updater first — or
+// use the durable mode (Config.Dir), whose incremental checkpoints never
+// require quiescence.
+var ErrActiveTransactions = errors.New("db: active updating transactions")
 
 // checkpoint is the on-wire form of a saved database. Both devices are
 // imaged in full (the simulated disks are the durable state), plus the
@@ -32,11 +41,16 @@ type checkpoint struct {
 // slice when the engine gained key-range sharding.
 const checkpointVersion = 2
 
-// SaveTo writes a checkpoint of the database. There must be no active
-// updating transactions (pending versions are saved as pending and remain
-// abortable after load, but in-flight Txn handles do not survive) and no
-// concurrent use of the database during the save.
+// SaveTo writes a whole-image checkpoint of the database. There must be
+// no active updating transactions — enforced: SaveTo returns
+// ErrActiveTransactions instead of silently emitting a torn image — and
+// no concurrent use of the database during the save (the check is a
+// point-in-time guard, not a lock; a transaction begun mid-save still
+// races). The durable mode's DB.Checkpoint has neither restriction.
 func (d *DB) SaveTo(w io.Writer) error {
+	if n := d.tm.ActiveUpdaters(); n > 0 {
+		return fmt.Errorf("%w: %d in flight", ErrActiveTransactions, n)
+	}
 	cp := checkpoint{
 		FormatVersion: checkpointVersion,
 		Magnetic:      d.mag.Image(),

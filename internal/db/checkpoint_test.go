@@ -2,10 +2,10 @@ package db
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/record"
 )
 
@@ -76,14 +76,37 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCheckpointPreservesPendingVersions(t *testing.T) {
+func TestSaveToRejectsActiveTransactions(t *testing.T) {
 	d := open(t, Config{})
 	put(t, d, "k", "committed")
 	tx := d.Begin()
 	if err := tx.Put(record.StringKey("k"), []byte("inflight")); err != nil {
 		t.Fatal(err)
 	}
+	// An in-flight updater makes a whole-image checkpoint torn (its Txn
+	// handle would not survive the load): SaveTo must refuse with the
+	// typed error instead of silently emitting one.
 	var buf bytes.Buffer
+	if err := d.SaveTo(&buf); !errors.Is(err, ErrActiveTransactions) {
+		t.Fatalf("SaveTo with active txn = %v, want ErrActiveTransactions", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("refused save still wrote %d bytes", buf.Len())
+	}
+	// A second in-flight updater is counted too.
+	tx2 := d.Begin()
+	if err := d.SaveTo(&buf); !errors.Is(err, ErrActiveTransactions) {
+		t.Fatalf("SaveTo with two active txns = %v", err)
+	}
+	if err := tx2.Commit(); err != nil { // empty commit resolves it
+		t.Fatal(err)
+	}
+
+	// Resolving the transaction unblocks the save.
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
 	if err := d.SaveTo(&buf); err != nil {
 		t.Fatal(err)
 	}
@@ -91,21 +114,18 @@ func TestCheckpointPreservesPendingVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The pending version survived the checkpoint but is invisible; it
-	// remains erasable (the in-flight Txn handle itself did not survive,
-	// so recovery aborts it through the tree API).
 	v, ok, _ := d2.Get(record.StringKey("k"))
 	if !ok || string(v.Value) != "committed" {
 		t.Fatalf("Get after load = %v, %v", v, ok)
 	}
-	err = d2.WithShardTree(0, func(tr *core.Tree) error {
-		return tr.AbortKey(record.StringKey("k"), tx.ID())
-	})
-	if err != nil {
-		t.Fatalf("recovery abort: %v", err)
-	}
 	if err := d2.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+	// Readers never block a save.
+	d2.ReadOnly()
+	var buf2 bytes.Buffer
+	if err := d2.SaveTo(&buf2); err != nil {
+		t.Fatalf("SaveTo with readers = %v", err)
 	}
 }
 

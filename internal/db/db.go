@@ -22,11 +22,46 @@
 //   - Updaters claim keys in a no-wait lock table (conflicts fail fast
 //     with txn.ErrLockConflict) and write pending versions under the
 //     owning shard's write latch. Commit posting is serialized by a
-//     commit mutex so commit timestamps reach every shard in order; the
-//     shared clock advances only after a commit is fully posted, so any
-//     snapshot at time <= Now() is consistent.
+//     group-commit leadership token: concurrently-arriving committers
+//     coalesce into one batch — consecutive commit timestamps, one
+//     commit-log append + fsync (durable mode), one clock advance — so
+//     commit timestamps reach every shard in order and the shared clock
+//     advances only after a batch is fully posted; any snapshot at
+//     time <= Now() is consistent.
 //   - Secondary indexes are maintained during commit posting and guarded
 //     by their own reader/writer latch.
+//
+// # Durability
+//
+// With Config.Dir set, the database is durable: a write-ahead log
+// (internal/wal) and incremental checkpoints live in that directory.
+// The contract, precisely:
+//
+//   - Committed = logged + fsynced. Update/Commit return only after the
+//     transaction's redo record (its stamped write set) is durable in
+//     the log. Group commit amortizes the fsync: committers arriving
+//     while the batch leader fsyncs join the next batch, so N
+//     concurrent committers cost far fewer than N fsyncs
+//     (Stats().WAL's Records/Syncs is the measured factor).
+//   - A crash loses nothing acknowledged. Open(Config{Dir: ...})
+//     reloads the latest checkpoint and replays the log tail, stopping
+//     at the first torn frame. An unacknowledged commit (in flight at
+//     the crash) is recovered either fully or not at all — a log frame
+//     is exactly one transaction under a CRC — and uncommitted data is
+//     never durable, so recovery needs no undo pass.
+//   - Checkpoints truncate the log without stopping writers:
+//     DB.Checkpoint (and the background checkpointer, see
+//     Config.CheckpointBytes) rotates the log at a posting-quiescent
+//     boundary, dumps each shard's committed versions up to that
+//     boundary under the shard's read latch — one shard at a time,
+//     commits proceeding throughout — then atomically installs the
+//     checkpoint and deletes the segments it covers. Dumps are
+//     boundary-exact, so reload + log-tail replay applies every commit
+//     exactly once, in global commit-time order.
+//
+// SaveTo/LoadFrom remain as the quiescent whole-image alternative; they
+// refuse to run with updating transactions in flight
+// (ErrActiveTransactions).
 //
 // # Streaming reads
 //
@@ -72,6 +107,7 @@ package db
 import (
 	"fmt"
 	"iter"
+	"os"
 	"slices"
 	"sync"
 
@@ -81,6 +117,7 @@ import (
 	"repro/internal/secondary"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // Config configures a database.
@@ -114,6 +151,30 @@ type Config struct {
 	// LeafCapacity / IndexCapacity override logical node sizes (tests).
 	LeafCapacity  int
 	IndexCapacity int
+
+	// Dir enables the durable mode: the directory holds the write-ahead
+	// log and checkpoints. Open creates it if needed, or recovers the
+	// database it finds there (checkpoint reload + WAL tail replay).
+	// With Dir set, a commit is acknowledged only once its redo record
+	// is fsynced — group commit batches concurrent committers into one
+	// fsync. See the package documentation's durability contract.
+	Dir string
+	// CheckpointBytes triggers a background incremental checkpoint
+	// (which truncates the log) once the WAL has grown by this many
+	// bytes since the last one. 0 selects the 4 MiB default; negative
+	// disables background checkpointing (DB.Checkpoint still works).
+	// Durable mode only.
+	CheckpointBytes int64
+	// Secondaries registers secondary indexes at open time, equivalent
+	// to calling CreateSecondary for each before any writes. Reopening
+	// a durable database that had secondary indexes REQUIRES the same
+	// set here: extraction functions are code, not data, and recovery
+	// replays them.
+	Secondaries map[string]SecondaryExtract
+
+	// logWrap wraps every log and checkpoint file the durable mode
+	// opens; crash tests inject torn-write faults through it.
+	logWrap func(storage.LogFile) storage.LogFile
 }
 
 // NoCachePages is the Config.BufferPages value that disables the page
@@ -147,6 +208,20 @@ type DB struct {
 
 	policy      core.Policy
 	bufferPages int
+
+	// Durable-mode state (nil/zero for in-memory databases).
+	wal     *wal.Log
+	dir     string
+	dirLock *os.File // exclusive flock on dir/LOCK, held until Close
+	logWrap func(storage.LogFile) storage.LogFile
+	// cpMu serializes checkpoints (manual and background).
+	cpMu        sync.Mutex
+	cpLastBytes uint64 // WAL bytes at the last checkpoint
+	cpEvery     int64  // background trigger; <=0 disabled
+	cpErr       error  // sticky first background-checkpoint error (under cpMu)
+	stopCp      chan struct{}
+	cpDone      sync.WaitGroup
+	closed      bool
 }
 
 func (cfg *Config) withDefaults() error {
@@ -174,11 +249,40 @@ func (cfg *Config) withDefaults() error {
 	return nil
 }
 
-// Open creates a new database on fresh simulated devices.
+// Open creates a new database on fresh simulated devices — or, when
+// cfg.Dir is set, opens the durable database in that directory,
+// recovering whatever a previous process left there: the latest
+// checkpoint is reloaded and the WAL tail replayed over it, yielding
+// exactly the acknowledged commits (see the package documentation's
+// durability contract).
 func Open(cfg Config) (*DB, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
+	if cfg.Dir != "" {
+		return openDurable(cfg)
+	}
+	d, err := newEmpty(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for name, extract := range cfg.Secondaries {
+		if err := d.CreateSecondary(name, extract); err != nil {
+			return nil, err
+		}
+	}
+	d.tm = txn.NewManager(d.store, d.store.Now())
+	d.tm.SetCommitHook(d.onCommit)
+	return d, nil
+}
+
+// newEmpty builds a database on fresh simulated devices with no
+// transaction manager, hook, log, or secondaries wired yet: the common
+// substrate of the in-memory and durable open paths. Each caller
+// constructs d.tm itself — the durable path only knows the clock after
+// recovery, and a single construction point per path keeps the clock
+// seeding explicit.
+func newEmpty(cfg Config) (*DB, error) {
 	cost := storage.DefaultCostModel()
 	if cfg.Cost != nil {
 		cost = *cfg.Cost
@@ -212,8 +316,6 @@ func Open(cfg Config) (*DB, error) {
 		trees[i] = tree
 	}
 	d.store = newShardedStore(trees)
-	d.tm = txn.NewManager(d.store, d.store.Now())
-	d.tm.SetCommitHook(d.onCommit)
 	return d, nil
 }
 
@@ -230,21 +332,31 @@ func (d *DB) pages() storage.PageStore {
 }
 
 // CreateSecondary registers a secondary index maintained from commit time
-// onward. It must be called before any data is written.
+// onward. It must be called before any data is written. On a durable
+// database the registration is sealed into a fresh checkpoint
+// immediately, so reopening the directory always knows the index exists
+// (and demands its extractor via Config.Secondaries).
 func (d *DB) CreateSecondary(name string, extract SecondaryExtract) error {
 	if d.store.stats().Inserts > 0 {
 		return fmt.Errorf("db: secondary index %q must be created before any writes", name)
 	}
 	d.secMu.Lock()
-	defer d.secMu.Unlock()
 	if _, dup := d.secondaries[name]; dup {
+		d.secMu.Unlock()
 		return fmt.Errorf("db: secondary index %q already exists", name)
 	}
 	ix, err := secondary.New(name, d.pages(), d.worm, core.Config{Policy: d.policy})
 	if err != nil {
+		d.secMu.Unlock()
 		return err
 	}
 	d.secondaries[name] = &secondaryIndex{index: ix, extract: extract}
+	d.secMu.Unlock()
+	if d.wal != nil {
+		if err := d.Checkpoint(); err != nil {
+			return fmt.Errorf("db: sealing secondary index %q: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -475,6 +587,10 @@ type Stats struct {
 	Magnetic storage.MagneticStats
 	WORM     storage.WORMStats
 	Buffer   buffer.Stats
+	// WAL is the write-ahead log accounting (zero for in-memory
+	// databases). Txn.Committed / WAL.Syncs is the group-commit fsync
+	// amortization.
+	WAL wal.Stats
 	// Secondaries maps index name to its tree stats.
 	Secondaries map[string]core.Stats
 }
@@ -487,6 +603,9 @@ func (d *DB) Stats() Stats {
 		Magnetic:    d.mag.Stats(),
 		WORM:        d.worm.Stats(),
 		Secondaries: make(map[string]core.Stats),
+	}
+	if d.wal != nil {
+		st.WAL = d.wal.Stats()
 	}
 	if d.pool != nil {
 		st.Buffer = d.pool.Stats()

@@ -1,0 +1,440 @@
+package db
+
+// The durable mode: a directory-backed database whose commits are
+// write-ahead logged (internal/wal) and whose log is truncated by
+// incremental logical checkpoints taken while writers run.
+//
+// The durability contract, precisely:
+//
+//   - committed = logged + fsynced. Update/Commit return only after the
+//     transaction's redo record (its stamped write set) is durable in
+//     the WAL; group commit batches concurrently-arriving committers
+//     into one append + one fsync.
+//   - a crash loses nothing acknowledged. Open replays the latest
+//     checkpoint and then the WAL tail, stopping at the first torn
+//     frame. A commit whose fsync never completed is either absent or
+//     — if its frame happened to land intact before the crash —
+//     present in full; never half-applied, because a frame is exactly
+//     one transaction under a CRC.
+//   - in-flight transactions at the crash are gone: pending versions
+//     are never logged and never checkpointed (the logical dump takes
+//     only committed versions), so recovery needs no undo pass.
+//
+// A checkpoint rotates the log at a posting-quiescent boundary (one
+// brief acquisition of the commit leadership token), then dumps each
+// shard's committed versions under that shard's read latch — shard by
+// shard, writers running throughout. The dump is boundary-exact:
+// versions stamped after the boundary clock are filtered out (their log
+// records all sit past the rotation LSN and are replayed instead), so
+// reload plus log tail reproduces every commit exactly once, in global
+// commit-time order — which the secondary indexes, one tree shared by
+// all shards, require. Once the checkpoint file is fsynced and
+// atomically renamed into place, segments wholly below the rotation
+// point are deleted.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed durable database.
+var ErrClosed = errors.New("db: database closed")
+
+// ErrLocked is returned when the durable directory is already open —
+// by another process or another handle in this one. Two writers on one
+// log would interleave segments and lose acknowledged commits.
+var ErrLocked = errors.New("db: directory already open")
+
+// lockDir takes an exclusive advisory lock on dir/LOCK. The kernel
+// releases it when the holder dies, so a crashed process never leaves a
+// stale lock behind (which is why this is flock, not O_EXCL creation).
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("db: lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	return f, nil
+}
+
+// defaultCheckpointBytes is how much WAL growth triggers a background
+// checkpoint when Config.CheckpointBytes is 0.
+const defaultCheckpointBytes = 4 << 20
+
+// checkpointPollInterval is how often the background checkpointer
+// inspects the WAL size.
+const checkpointPollInterval = 100 * time.Millisecond
+
+// openDurable opens (creating or recovering) the durable database in
+// cfg.Dir. Called from Open with defaults applied.
+func openDurable(cfg Config) (*DB, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("db: create %s: %w", cfg.Dir, err)
+	}
+	lock, err := lockDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var log *wal.Log
+	ok := false
+	defer func() {
+		if !ok {
+			if log != nil {
+				_ = log.Close()
+			}
+			lock.Close()
+		}
+	}()
+	info, found, err := wal.ReadCheckpointInfo(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		if cfg.Shards != 1 && cfg.Shards != info.Shards {
+			return nil, fmt.Errorf("db: %s has %d shards, config asks for %d",
+				cfg.Dir, info.Shards, cfg.Shards)
+		}
+		cfg.Shards = info.Shards
+		if err := checkExtractors(info.Secondaries, cfg.Secondaries); err != nil {
+			return nil, err
+		}
+	}
+
+	d, err := newEmpty(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.dir = cfg.Dir
+	d.logWrap = cfg.logWrap
+	for name, extract := range cfg.Secondaries {
+		if err := d.CreateSecondary(name, extract); err != nil {
+			return nil, err
+		}
+	}
+
+	if found {
+		if err := d.loadCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+	lastLSN, nextSeg, err := d.replayLog(info.LSN)
+	if err != nil {
+		return nil, err
+	}
+
+	// The clock resumes at the newest committed time recovery produced
+	// (the checkpoint clock is a lower bound of it).
+	clock := d.store.Now()
+	if info.Clock > clock {
+		clock = info.Clock
+	}
+	d.tm = txn.NewManager(d.store, clock)
+	d.tm.SetCommitHook(d.onCommit)
+
+	log, err = wal.Open(wal.Options{Dir: cfg.Dir, WrapFile: cfg.logWrap}, nextSeg, lastLSN)
+	if err != nil {
+		return nil, err
+	}
+	d.wal = log
+	d.tm.SetCommitLog(log)
+
+	if !found {
+		// Seal the directory's shape before the first commit: an empty
+		// checkpoint makes the shard count (and secondary-index set)
+		// authoritative for every future reopen, even one that crashes
+		// before its first real checkpoint.
+		if err := d.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+
+	d.cpEvery = cfg.CheckpointBytes
+	if d.cpEvery == 0 {
+		d.cpEvery = defaultCheckpointBytes
+	}
+	if d.cpEvery > 0 {
+		d.stopCp = make(chan struct{})
+		d.cpDone.Add(1)
+		go d.backgroundCheckpointer()
+	}
+	d.dirLock = lock
+	ok = true
+	return d, nil
+}
+
+// checkExtractors verifies the supplied extraction functions exactly
+// cover the secondary indexes a checkpoint names.
+func checkExtractors(names []string, extracts map[string]SecondaryExtract) error {
+	if len(extracts) != len(names) {
+		return fmt.Errorf("db: directory has %d secondary indexes, %d extractors supplied",
+			len(names), len(extracts))
+	}
+	for _, name := range names {
+		if _, ok := extracts[name]; !ok {
+			return fmt.Errorf("db: no extractor supplied for secondary index %q", name)
+		}
+	}
+	return nil
+}
+
+// applyCommitted installs one committed version during recovery: the
+// previously visible version is looked up first so the secondary-index
+// hook sees exactly what it would have seen at the original commit.
+// Versions must arrive in an order that never decreases commit times
+// GLOBALLY — the secondary indexes are single trees spanning all
+// shards — which loadCheckpoint's global sort and the WAL's LSN order
+// both guarantee.
+func (d *DB) applyCommitted(v record.Version) error {
+	if len(d.secondaries) == 0 {
+		// The old version is only ever needed by the secondary-index
+		// hook; without one, skip the extra tree lookup per version.
+		return d.store.Insert(v)
+	}
+	oldV, oldOK, err := d.store.Get(v.Key)
+	if err != nil {
+		return err
+	}
+	if err := d.store.Insert(v); err != nil {
+		return err
+	}
+	return d.onCommit(v.Time, oldV, oldOK, v)
+}
+
+// loadCheckpoint rebuilds the store from the checkpoint's logical dump.
+// Chunks arrive shard by shard, but the secondary indexes span shards,
+// so every version is buffered and applied in one globally time-sorted
+// pass (the dump is boundary-exact: nothing past the checkpoint clock).
+func (d *DB) loadCheckpoint() error {
+	var all []record.Version
+	info, _, err := wal.ReadCheckpoint(d.dir, func(shard int, vs []record.Version) error {
+		all = append(all, vs...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].Time != all[b].Time {
+			return all[a].Time < all[b].Time
+		}
+		return all[a].Key.Less(all[b].Key)
+	})
+	for _, v := range all {
+		if v.Time > info.Clock {
+			// Defense in depth: a correctly-written checkpoint is
+			// boundary-exact, so nothing past its clock belongs here —
+			// the log tail owns those commits.
+			return fmt.Errorf("db: checkpoint version at %s past its clock %s", v.Time, info.Clock)
+		}
+		if err := d.applyCommitted(v); err != nil {
+			return fmt.Errorf("db: checkpoint reload: %w", err)
+		}
+	}
+	return nil
+}
+
+// replayLog replays every WAL segment after the checkpoint boundary.
+// Boundary-exact checkpoints make replay exact too: every frame past
+// the boundary is absent from the reloaded store and is applied
+// unconditionally, in LSN (= global commit-time) order. It returns the
+// last intact LSN and the segment number a fresh log should start at.
+func (d *DB) replayLog(afterLSN uint64) (lastLSN, nextSeg uint64, err error) {
+	segs, err := wal.Segments(d.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	nextSeg = 1
+	last := afterLSN
+	for _, seg := range segs {
+		if seg.Index >= nextSeg {
+			nextSeg = seg.Index + 1
+		}
+		segLast, _, err := wal.ReplayFile(seg.Path, last, func(lsn uint64, rec txn.CommitRecord) error {
+			if lsn != last+1 {
+				return fmt.Errorf("db: recovery gap: LSN %d follows %d (missing segment?)", lsn, last)
+			}
+			last = lsn
+			return d.replayCommit(rec)
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if segLast > last {
+			// Frames past `last` were skipped as <= afterLSN; keep the
+			// larger of the two as the resume point.
+			last = segLast
+		}
+	}
+	return last, nextSeg, nil
+}
+
+// replayCommit redoes one logged transaction.
+func (d *DB) replayCommit(rec txn.CommitRecord) error {
+	for _, v := range rec.Versions {
+		if err := d.applyCommitted(v); err != nil {
+			return fmt.Errorf("db: replay of txn %d at %s: %w", rec.TxnID, rec.Time, err)
+		}
+	}
+	return nil
+}
+
+// dumpShard materializes shard i's committed history up to the
+// checkpoint boundary under that shard's read latch, sorted so commit
+// times never decrease — the unit of checkpoint capture. Versions
+// stamped past the boundary (writers keep committing during the dump)
+// are excluded: their log records live past the rotation LSN and replay
+// owns them, keeping reload + replay exactly-once and globally ordered.
+func (d *DB) dumpShard(i int, upTo record.Timestamp) ([]record.Version, error) {
+	sh := d.store.shards[i]
+	sh.mu.RLock()
+	vs, err := sh.tree.ScanRange(nil, record.InfiniteBound(), record.TimeZero+1, upTo+1)
+	sh.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	// The boundary clock is posting-quiescent, so no version sits at
+	// upTo+1 mid-posting; the window [1, upTo+1) is exact.
+	sort.SliceStable(vs, func(a, b int) bool {
+		if vs[a].Time != vs[b].Time {
+			return vs[a].Time < vs[b].Time
+		}
+		return vs[a].Key.Less(vs[b].Key)
+	})
+	return vs, nil
+}
+
+// secondaryNames returns the registered secondary-index names, sorted.
+func (d *DB) secondaryNames() []string {
+	d.secMu.RLock()
+	defer d.secMu.RUnlock()
+	names := make([]string, 0, len(d.secondaries))
+	for name := range d.secondaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Checkpoint takes an incremental checkpoint of a durable database and
+// truncates the log, without stopping writers: the log is rotated at a
+// posting-quiescent boundary (a brief pause of commit posting only),
+// each shard is dumped under a short read latch, and old segments are
+// deleted once the checkpoint file is durably installed. Concurrent
+// checkpoints serialize.
+func (d *DB) Checkpoint() error {
+	if d.wal == nil {
+		return fmt.Errorf("db: Checkpoint requires a durable database (Config.Dir)")
+	}
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	var boundary uint64
+	var clock record.Timestamp
+	err := d.tm.Quiesce(func() error {
+		// Under the leadership token no commit is mid-posting: every
+		// record at or below the boundary is fully in the store, and
+		// the clock cannot move.
+		lsn, err := d.wal.Rotate()
+		if err != nil {
+			return err
+		}
+		boundary = lsn
+		clock = d.tm.Now()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	info := wal.CheckpointInfo{
+		Shards:      len(d.store.shards),
+		Clock:       clock,
+		LSN:         boundary,
+		Secondaries: d.secondaryNames(),
+	}
+	dump := func(shard int) ([]record.Version, error) { return d.dumpShard(shard, clock) }
+	if err := wal.WriteCheckpoint(d.dir, d.logWrap, info, dump); err != nil {
+		return err
+	}
+	if err := d.wal.RemoveSegmentsBelow(d.wal.CurrentSegment()); err != nil {
+		return err
+	}
+	d.cpLastBytes = d.wal.Stats().Bytes
+	return nil
+}
+
+// backgroundCheckpointer checkpoints whenever the WAL has grown past
+// the configured threshold since the last checkpoint. A checkpoint
+// error is sticky (surfaced by Close) and stops the loop: the log
+// simply grows until an operator intervenes, which is strictly safer
+// than retrying against a misbehaving device.
+func (d *DB) backgroundCheckpointer() {
+	defer d.cpDone.Done()
+	ticker := time.NewTicker(checkpointPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopCp:
+			return
+		case <-ticker.C:
+			d.cpMu.Lock()
+			due := int64(d.wal.Stats().Bytes-d.cpLastBytes) >= d.cpEvery
+			d.cpMu.Unlock()
+			if !due {
+				continue
+			}
+			if err := d.Checkpoint(); err != nil {
+				d.cpMu.Lock()
+				if d.cpErr == nil {
+					d.cpErr = err
+				}
+				d.cpMu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// Close stops the background checkpointer and closes the write-ahead
+// log. Acknowledged commits are already durable (group commit fsyncs
+// before acknowledging), so Close flushes nothing; it exists to release
+// the directory cleanly. It returns the first background-checkpoint
+// error, if any. Closing an in-memory database is a no-op.
+func (d *DB) Close() error {
+	d.cpMu.Lock()
+	if d.closed {
+		d.cpMu.Unlock()
+		return nil
+	}
+	d.closed = true
+	cpErr := d.cpErr
+	d.cpMu.Unlock()
+	if d.stopCp != nil {
+		close(d.stopCp)
+		d.cpDone.Wait()
+	}
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil && cpErr == nil {
+			cpErr = err
+		}
+	}
+	if d.dirLock != nil {
+		// Closing the fd releases the flock: the directory may be
+		// reopened by anyone.
+		_ = d.dirLock.Close()
+	}
+	return cpErr
+}

@@ -1,0 +1,157 @@
+package experiments
+
+// Durability and read-path experiment points beyond the paper's E1-E10
+// tables: the group-commit fsync amortization run (E11) and the two
+// archived read/latency trajectory points (cursor page reads, single-
+// shard put latency) that extend BENCH_E10.json past write throughput.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// GroupCommitResult summarizes one durable-mode commit-throughput run.
+type GroupCommitResult struct {
+	Workers        int
+	Commits        uint64
+	Syncs          uint64
+	RecordsPerSync float64 // committers amortized per fsync
+	Elapsed        time.Duration
+	OpsPerSec      float64
+}
+
+// E11GroupCommit drives `workers` concurrent single-key committers
+// against a durable database in dir and reports how many commit records
+// each fsync carried: the group-commit amortization the WAL buys on the
+// serialized commit path. Background checkpointing is off so every sync
+// counted is a commit append.
+func E11GroupCommit(dir string, workers, opsPerWorker int) (GroupCommitResult, Table, error) {
+	d, err := db.Open(db.Config{Shards: 8, Dir: dir, CheckpointBytes: -1})
+	if err != nil {
+		return GroupCommitResult{}, Table{}, err
+	}
+	defer d.Close()
+	base := d.Stats().WAL // the open-time seal checkpoint is not a commit
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				k := workload.SpreadKey(uint64(w)<<32 | uint64(i))
+				err := d.Update(func(tx *txn.Txn) error {
+					return tx.Put(k, []byte("group-commit-payload-0123456789"))
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return GroupCommitResult{}, Table{}, err
+	}
+	elapsed := time.Since(start)
+
+	st := d.Stats().WAL
+	res := GroupCommitResult{
+		Workers: workers,
+		Commits: st.Records - base.Records,
+		Syncs:   st.Syncs - base.Syncs,
+		Elapsed: elapsed,
+	}
+	if res.Syncs > 0 {
+		res.RecordsPerSync = float64(res.Commits) / float64(res.Syncs)
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Commits) / elapsed.Seconds()
+	}
+	tab := Table{
+		Title:  "E11: group commit — fsync amortization under concurrent committers",
+		Header: []string{"workers", "commits", "fsyncs", "commits/fsync", "elapsed", "commits/sec"},
+		Rows: [][]string{{
+			num(uint64(res.Workers)), num(res.Commits), num(res.Syncs),
+			fmt.Sprintf("%.2f", res.RecordsPerSync),
+			res.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", res.OpsPerSec),
+		}},
+		Remarks: []string{
+			"committed = logged + fsynced; concurrently-arriving committers coalesce into one append + one fsync",
+			"commits/fsync > 1 means the serialized commit path is amortizing durability across committers",
+		},
+	}
+	return res, tab, nil
+}
+
+// CursorPageReads measures the streaming-read headline: buffer-pool page
+// fetches per Limit=1 cursor open over a database holding `versions`
+// versions — O(tree height), not a materialized scan. It mirrors
+// BenchmarkCursorLimit1 so the archived trajectory covers reads.
+func CursorPageReads(versions, probes int) (float64, error) {
+	d, err := db.Open(db.Config{LeafCapacity: 512, IndexCapacity: 1024})
+	if err != nil {
+		return 0, err
+	}
+	keys := versions / 5
+	if keys == 0 {
+		keys = 1
+	}
+	for r := 0; r < 5; r++ {
+		for base := 0; base < keys; base += 100 {
+			err := d.Update(func(tx *txn.Txn) error {
+				for i := base; i < base+100 && i < keys; i++ {
+					k := record.Uint64Key(uint64(i) * 0x9e3779b97f4a7c15)
+					if err := tx.Put(k, []byte("benchpayload")); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	fetches := func() uint64 { st := d.Stats().Buffer; return st.Hits + st.Misses }
+	start := fetches()
+	for i := 0; i < probes; i++ {
+		cur := d.Cursor(nil, record.InfiniteBound(), db.ScanOptions{Limit: 1})
+		if !cur.Next() {
+			return 0, fmt.Errorf("cursor probe %d: %v", i, cur.Err())
+		}
+	}
+	return float64(fetches()-start) / float64(probes), nil
+}
+
+// PutLatency measures the average latency of a single-key committed
+// write on one shard — the serialized-commit-path baseline point of the
+// archived trajectory.
+func PutLatency(ops int) (avgMicros float64, err error) {
+	d, err := db.Open(db.Config{Shards: 1})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		k := workload.SpreadKey(uint64(i % 1024))
+		err := d.Update(func(tx *txn.Txn) error {
+			return tx.Put(k, []byte("latency-probe-payload-0123456789"))
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(ops), nil
+}

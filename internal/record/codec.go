@@ -87,6 +87,16 @@ func (e *Encoder) Version(v Version) {
 	e.Blob(v.Value)
 }
 
+// Versions appends a count-prefixed run of version records: the wire
+// encoding of a commit's write set, shared by the write-ahead log's
+// frames and the logical checkpoint chunks.
+func (e *Encoder) Versions(vs []Version) {
+	e.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.Version(v)
+	}
+}
+
 // Decoder reads binary fields from a byte slice with a sticky error.
 type Decoder struct {
 	buf []byte
@@ -201,4 +211,31 @@ func (d *Decoder) Version() Version {
 	v.TxnID = d.Uvarint()
 	v.Value = d.Blob()
 	return v
+}
+
+// Versions reads a count-prefixed run of version records written by
+// Encoder.Versions.
+func (d *Decoder) Versions() []Version {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// The smallest version (flags, empty key, time, txn id, empty
+	// value) occupies 5 bytes, so a count exceeding Remaining/5 is
+	// corrupt, not merely big — and the pre-allocation below is further
+	// capped so a crafted count can never balloon memory ahead of the
+	// decode failing.
+	if n > uint64(d.Remaining())/5 {
+		d.fail()
+		return nil
+	}
+	out := make([]Version, 0, min(n, 1024))
+	for i := uint64(0); i < n; i++ {
+		v := d.Version()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
 }

@@ -312,6 +312,52 @@ func TestCodecRoundTripVersions(t *testing.T) {
 	}
 }
 
+func TestCodecRoundTripVersionSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		in := make([]Version, rng.Intn(8))
+		for j := range in {
+			in[j] = Version{
+				Key:       randKey(rng),
+				Time:      Timestamp(rng.Uint64() >> 1),
+				TxnID:     rng.Uint64() >> 3,
+				Tombstone: rng.Intn(2) == 0,
+			}
+			if rng.Intn(4) > 0 {
+				in[j].Value = make([]byte, rng.Intn(64))
+				rng.Read(in[j].Value)
+			}
+		}
+		e := NewEncoder(nil)
+		e.Versions(in)
+		d := NewDecoder(e.Bytes())
+		out := d.Versions()
+		if d.Err() != nil {
+			t.Fatalf("decode error: %v", d.Err())
+		}
+		if len(out) != len(in) {
+			t.Fatalf("round trip length %d, want %d", len(out), len(in))
+		}
+		for j := range in {
+			if !out[j].Key.Equal(in[j].Key) || out[j].Time != in[j].Time ||
+				out[j].TxnID != in[j].TxnID || out[j].Tombstone != in[j].Tombstone ||
+				string(out[j].Value) != string(in[j].Value) {
+				t.Fatalf("version %d mismatch: in=%+v out=%+v", j, in[j], out[j])
+			}
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("trailing bytes after decode: %d", d.Remaining())
+		}
+	}
+	// An absurd count prefix must fail cleanly instead of allocating.
+	e := NewEncoder(nil)
+	e.Uvarint(1 << 40)
+	d := NewDecoder(e.Bytes())
+	if d.Versions() != nil || d.Err() == nil {
+		t.Fatal("oversized count should fail decoding")
+	}
+}
+
 func TestCodecRoundTripRects(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 500; i++ {

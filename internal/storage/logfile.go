@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// LogFile is the append-only byte device the write-ahead log and the
+// checkpoint writer write through: sequential writes, an explicit
+// durability barrier, and a close. *os.File satisfies it directly; tests
+// interpose TornLogFile to simulate crashes that tear a write in half.
+type LogFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// TearPlan schedules a torn write across one or more LogFiles: after
+// `budget` more bytes have been written through the files sharing the
+// plan, the write that crosses the boundary persists only its prefix and
+// fails, and every subsequent write and sync on every sharing file fails
+// too — the device is dead, exactly as if the machine lost power
+// mid-append. A nil *TearPlan never fires.
+//
+// The plan is shared so a fault point can be expressed as a single byte
+// offset into the whole durable write stream even when the log rotates
+// across segment files mid-test.
+type TearPlan struct {
+	mu     sync.Mutex
+	budget int64
+	armed  bool
+	dead   bool
+}
+
+// NewTearPlan returns a plan that tears the write crossing `budget`
+// bytes from now, counted across every file sharing the plan.
+func NewTearPlan(budget int64) *TearPlan {
+	return &TearPlan{budget: budget, armed: true}
+}
+
+// Dead reports whether the plan has fired (the simulated device died).
+func (p *TearPlan) Dead() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// consume accounts a write of n bytes: it returns how many bytes may
+// actually persist and whether the device just (or previously) died.
+func (p *TearPlan) consume(n int) (allowed int, err error) {
+	if p == nil {
+		return n, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return 0, fmt.Errorf("%w: log device dead", ErrInjected)
+	}
+	if !p.armed || int64(n) <= p.budget {
+		p.budget -= int64(n)
+		return n, nil
+	}
+	allowed = int(p.budget)
+	p.budget = 0
+	p.dead = true
+	return allowed, fmt.Errorf("%w: torn write after %d bytes", ErrInjected, allowed)
+}
+
+// syncErr fails the sync if the device is dead.
+func (p *TearPlan) syncErr() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return fmt.Errorf("%w: sync on dead log device", ErrInjected)
+	}
+	return nil
+}
+
+// TornLogFile wraps a LogFile with a shared TearPlan. Writes consume the
+// plan's byte budget; the write crossing it persists only its allowed
+// prefix and fails, and the file is dead from then on.
+type TornLogFile struct {
+	inner LogFile
+	plan  *TearPlan
+}
+
+// NewTornLogFile wraps inner under plan. A nil plan passes everything
+// through untouched.
+func NewTornLogFile(inner LogFile, plan *TearPlan) *TornLogFile {
+	return &TornLogFile{inner: inner, plan: plan}
+}
+
+// Write persists as much of p as the plan allows.
+func (f *TornLogFile) Write(p []byte) (int, error) {
+	allowed, err := f.plan.consume(len(p))
+	if allowed > 0 {
+		if n, werr := f.inner.Write(p[:allowed]); werr != nil {
+			return n, werr
+		}
+	}
+	if err != nil {
+		return allowed, err
+	}
+	return len(p), nil
+}
+
+// Sync forwards to the inner file unless the device is dead.
+func (f *TornLogFile) Sync() error {
+	if err := f.plan.syncErr(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close always closes the inner file (a dead device can still be
+// abandoned).
+func (f *TornLogFile) Close() error { return f.inner.Close() }
+
+var _ LogFile = (*TornLogFile)(nil)

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memLogFile is an in-memory LogFile for exercising the tear wrapper.
+type memLogFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memLogFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memLogFile) Sync() error                 { m.syncs++; return nil }
+func (m *memLogFile) Close() error                { m.closed = true; return nil }
+
+func TestTornLogFileTearsAtBudget(t *testing.T) {
+	inner := &memLogFile{}
+	plan := NewTearPlan(10)
+	f := NewTornLogFile(inner, plan)
+
+	if n, err := f.Write([]byte("0123456")); err != nil || n != 7 {
+		t.Fatalf("write before budget: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync before budget: %v", err)
+	}
+	// This write crosses the 10-byte budget: only 3 more bytes persist.
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write error = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("crossing write persisted %d bytes, want 3", n)
+	}
+	if got := inner.buf.String(); got != "0123456abc" {
+		t.Fatalf("durable bytes = %q, want %q", got, "0123456abc")
+	}
+	if !plan.Dead() {
+		t.Fatal("plan should be dead after tearing")
+	}
+	// The device is dead: nothing further persists, syncs fail.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after death = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after death = %v, want ErrInjected", err)
+	}
+	if got := inner.buf.String(); got != "0123456abc" {
+		t.Fatalf("durable bytes after death = %q", got)
+	}
+	if err := f.Close(); err != nil || !inner.closed {
+		t.Fatalf("close: err=%v closed=%v", err, inner.closed)
+	}
+}
+
+func TestTearPlanSharedAcrossFiles(t *testing.T) {
+	plan := NewTearPlan(5)
+	a := NewTornLogFile(&memLogFile{}, plan)
+	bInner := &memLogFile{}
+	b := NewTornLogFile(bInner, plan)
+
+	if _, err := a.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	// 1 byte of budget left: the second file's write tears.
+	n, err := b.Write([]byte("56"))
+	if !errors.Is(err, ErrInjected) || n != 1 {
+		t.Fatalf("shared tear: n=%d err=%v", n, err)
+	}
+	if got := bInner.buf.String(); got != "5" {
+		t.Fatalf("second file durable bytes = %q, want %q", got, "5")
+	}
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first file should share the death: %v", err)
+	}
+}
+
+func TestNilTearPlanPassesThrough(t *testing.T) {
+	inner := &memLogFile{}
+	f := NewTornLogFile(inner, nil)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if inner.buf.String() != "hello" || inner.syncs != 1 {
+		t.Fatalf("pass-through failed: %q syncs=%d", inner.buf.String(), inner.syncs)
+	}
+}

@@ -24,11 +24,26 @@
 //     blocks on an updater, honoring §4.1;
 //   - the no-wait lock table has its own short mutex, taken only to claim
 //     or release a key;
-//   - commit posting is serialized by a commit mutex: commit timestamps
-//     are assigned and posted strictly in order, and the clock is only
-//     advanced after every version of the commit is posted. A reader that
-//     observes clock value T therefore sees every version with time <= T
-//     fully posted, and nothing newer is visible at its timestamp.
+//   - commit posting is serialized by a leadership token (group commit):
+//     concurrently-arriving committers enqueue their write sets, and the
+//     first to take the token posts the whole queue as one batch —
+//     consecutive commit timestamps, one append+fsync of the commit log
+//     (when one is attached), one clock advance. A reader that observes
+//     clock value T therefore sees every version with time <= T fully
+//     posted, and nothing newer is visible at its timestamp.
+//
+// # Group commit and durability
+//
+// A Manager optionally writes a redo log: SetCommitLog attaches a
+// CommitLog (the wal package provides one) and from then on a
+// transaction only reports Commit success after its CommitRecord — the
+// stamped write set — is durably appended. Batching makes that cheap:
+// the batch leader logs every queued transaction with a single
+// AppendBatch call (one fsync), so under concurrency the fsync cost is
+// amortized across committers (Stats.CommitBatches counts batches; the
+// committed/batches ratio is the amortization factor). If the log append
+// fails, no version of the batch is stamped: every member transaction is
+// aborted and its pending versions erased.
 //
 // Uncommitted writes and reads run concurrently across transactions,
 // synchronized only by the Store's own latches. A Txn or ReadTxn handle
@@ -91,13 +106,36 @@ type Stats struct {
 	Aborted   uint64
 	Readers   uint64
 	Conflicts uint64
+	// CommitBatches counts group-commit batches: every batch is one
+	// commit-log append + fsync (when a log is attached) and one clock
+	// advance, so Committed/CommitBatches is the fsync amortization
+	// factor.
+	CommitBatches uint64
 }
 
-// CommitHook is invoked under the manager's commit mutex for every key a
+// CommitHook is invoked under the commit leadership for every key a
 // transaction commits, after the version is stamped. The db layer uses it
 // to maintain secondary indexes. old is the previously committed version
 // (ok=false if none); new is the just-committed version.
 type CommitHook func(commitTime record.Timestamp, oldV record.Version, oldOK bool, newV record.Version) error
+
+// CommitRecord is the redo record of one committed transaction: its
+// stamped write set, in key order, every version carrying the commit
+// time. It is what a CommitLog must make durable before the commit is
+// acknowledged, and what recovery replays.
+type CommitRecord struct {
+	TxnID    uint64
+	Time     record.Timestamp
+	Versions []record.Version
+}
+
+// CommitLog is the durability hook of the commit path. AppendBatch must
+// make every record durable (one fsync for the whole batch) before
+// returning nil; on error nothing of the batch may be considered
+// committed. It is only ever called by one batch leader at a time.
+type CommitLog interface {
+	AppendBatch(recs []CommitRecord) error
+}
 
 // Manager issues transaction ids and commit timestamps, orders commit
 // posting, and holds the updater lock table. It is safe for concurrent
@@ -106,28 +144,58 @@ type Manager struct {
 	store Store
 
 	// clock is the last fully-posted commit timestamp. Readers load it
-	// wait-free; it is advanced only under commitMu.
+	// wait-free; it is advanced only by a batch leader.
 	clock  atomic.Uint64
 	nextID atomic.Uint64
 
-	// commitMu serializes commit posting, hook invocation, and the clock
-	// advance, so commit timestamps reach the store strictly in order.
-	commitMu sync.Mutex
-	hook     CommitHook
+	// leaderCh is the commit leadership token (capacity 1): holding it
+	// is what the commit mutex used to be. A committer that acquires it
+	// drains the queue and posts the whole batch; committers that lose
+	// the race park on their request's done channel instead of the
+	// token, which is what lets batches form.
+	leaderCh chan struct{}
+
+	// qMu guards the group-commit queue only.
+	qMu   sync.Mutex
+	queue []*commitReq
+
+	hook CommitHook
+	log  CommitLog
+	// broken, when non-nil, permanently fails further commits: the
+	// store failed to apply a durably-logged batch, so in-memory state
+	// has diverged from the log and only recovery (reopening the
+	// durable directory, which replays the log) reconciles them.
+	// Written and read only under the leadership token.
+	broken error
 
 	// lockMu guards the no-wait lock table only.
 	lockMu sync.Mutex
 	locks  map[string]uint64 // key -> txn id holding the write lock
 
 	begun, committed, aborted, readers, conflicts atomic.Uint64
+	commitBatches                                 atomic.Uint64
+	activeUpdaters                                atomic.Int64
+}
+
+// commitReq is one transaction waiting in the group-commit queue.
+type commitReq struct {
+	id     uint64
+	writes []record.Version // pending write set, sorted by key
+	done   chan commitResult
+}
+
+type commitResult struct {
+	time record.Timestamp
+	err  error
 }
 
 // NewManager returns a Manager over store. The clock starts at startTime
 // (use the store's largest committed timestamp when re-opening).
 func NewManager(store Store, startTime record.Timestamp) *Manager {
 	m := &Manager{
-		store: store,
-		locks: make(map[string]uint64),
+		store:    store,
+		locks:    make(map[string]uint64),
+		leaderCh: make(chan struct{}, 1),
 	}
 	m.clock.Store(uint64(startTime))
 	m.nextID.Store(1)
@@ -137,19 +205,51 @@ func NewManager(store Store, startTime record.Timestamp) *Manager {
 // SetCommitHook installs the per-key commit callback. It must be called
 // before concurrent transactions begin.
 func (m *Manager) SetCommitHook(h CommitHook) {
-	m.commitMu.Lock()
-	defer m.commitMu.Unlock()
+	m.leaderCh <- struct{}{}
 	m.hook = h
+	<-m.leaderCh
 }
+
+// SetCommitLog attaches the redo log: from now on a commit is
+// acknowledged only after its record is durably appended. It must be
+// called before concurrent transactions begin.
+func (m *Manager) SetCommitLog(l CommitLog) {
+	m.leaderCh <- struct{}{}
+	m.log = l
+	<-m.leaderCh
+}
+
+// Quiesce runs fn while holding the commit leadership token: no commit
+// is mid-posting, the clock is stable, and every acknowledged commit is
+// fully in the store (and, when a log is attached, durably appended).
+// The checkpointer uses it to rotate the log at a consistent boundary.
+// After the store has diverged from the commit log (a posting failure
+// past a durable append), Quiesce refuses without running fn: the
+// quiescent-boundary guarantees no longer hold, and in particular a
+// checkpoint taken now would make the half-applied state durable and
+// truncate the very records recovery needs to repair it.
+func (m *Manager) Quiesce(fn func() error) error {
+	m.leaderCh <- struct{}{}
+	defer func() { <-m.leaderCh }()
+	if m.broken != nil {
+		return m.broken
+	}
+	return fn()
+}
+
+// ActiveUpdaters returns the number of updating transactions begun but
+// not yet committed or aborted.
+func (m *Manager) ActiveUpdaters() int64 { return m.activeUpdaters.Load() }
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Begun:     m.begun.Load(),
-		Committed: m.committed.Load(),
-		Aborted:   m.aborted.Load(),
-		Readers:   m.readers.Load(),
-		Conflicts: m.conflicts.Load(),
+		Begun:         m.begun.Load(),
+		Committed:     m.committed.Load(),
+		Aborted:       m.aborted.Load(),
+		Readers:       m.readers.Load(),
+		Conflicts:     m.conflicts.Load(),
+		CommitBatches: m.commitBatches.Load(),
 	}
 }
 
@@ -161,9 +261,11 @@ func (m *Manager) Now() record.Timestamp {
 // Txn is an updating transaction. A Txn must be used by one goroutine at
 // a time.
 type Txn struct {
-	m          *Manager
-	id         uint64
-	writes     map[string]record.Key
+	m *Manager
+	id uint64
+	// writes buffers the pending version last written per key: the
+	// transaction's write set, which becomes its redo CommitRecord.
+	writes     map[string]record.Version
 	done       bool
 	commitTime record.Timestamp
 }
@@ -171,7 +273,8 @@ type Txn struct {
 // Begin starts an updating transaction.
 func (m *Manager) Begin() *Txn {
 	m.begun.Add(1)
-	return &Txn{m: m, id: m.nextID.Add(1), writes: make(map[string]record.Key)}
+	m.activeUpdaters.Add(1)
+	return &Txn{m: m, id: m.nextID.Add(1), writes: make(map[string]record.Version)}
 }
 
 // ID returns the transaction's id.
@@ -211,7 +314,7 @@ func (t *Txn) lockAndWrite(v record.Version) error {
 		}
 		return err
 	}
-	t.writes[ks] = v.Key
+	t.writes[ks] = v
 	return nil
 }
 
@@ -257,12 +360,12 @@ func (t *Txn) Get(k record.Key) (record.Version, bool, error) {
 
 // sortedWrites returns the write set in key order, for deterministic
 // commit application.
-func (t *Txn) sortedWrites() []record.Key {
-	out := make([]record.Key, 0, len(t.writes))
-	for _, k := range t.writes {
-		out = append(out, k)
+func (t *Txn) sortedWrites() []record.Version {
+	out := make([]record.Version, 0, len(t.writes))
+	for _, v := range t.writes {
+		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Less(out[j].Key) })
 	return out
 }
 
@@ -271,42 +374,167 @@ func (t *Txn) sortedWrites() []record.Key {
 // commit time. Commits are posted strictly in timestamp order; the shared
 // clock advances only once every version is posted.
 //
+// Commit is the group-commit entry point: the transaction's write set
+// joins the commit queue, and either a concurrent leader posts it as part
+// of a batch (Commit then simply waits for the durable result) or this
+// transaction takes the leadership token and posts the whole queue
+// itself. Either way, when a commit log is attached, a nil return means
+// the commit record is fsynced.
+//
 // If posting fails partway (a store error — with the simulated devices
 // this means fault injection or corruption), Commit erases the
 // still-pending keys, releases every lock, and returns the error. Keys
 // already stamped stay stamped: if any were, the clock still advances so
 // no later transaction can share the torn commit's timestamp. The
-// transaction counts as aborted.
+// transaction counts as aborted. When a commit log is attached, a
+// posting failure happens after the record is already durable, so the
+// outcome is "unknown": the in-memory store has diverged from the log,
+// the manager refuses all further commits, and reopening the durable
+// directory reconciles by replaying the record as committed.
 func (t *Txn) Commit() error {
 	m := t.m
 	if t.done {
 		return ErrDone
 	}
 	t.done = true
+	// The updater stays counted until its outcome is decided, so a
+	// concurrent SaveTo cannot observe quiescence mid-posting.
+	defer m.activeUpdaters.Add(-1)
 	if len(t.writes) == 0 {
 		m.committed.Add(1)
 		return nil
 	}
-	m.commitMu.Lock()
-	defer m.commitMu.Unlock()
-	commitTime := record.Timestamp(m.clock.Load()) + 1
-	keys := t.sortedWrites()
-	for i, k := range keys {
-		if stamped, err := m.postKey(k, t.id, commitTime); err != nil {
-			m.failCommit(keys[i:], t.id, commitTime, i > 0 || stamped)
-			return fmt.Errorf("txn: commit of %s: %w", k, err)
-		}
-		m.releaseLock(string(k), t.id)
+	req := &commitReq{id: t.id, writes: t.sortedWrites(), done: make(chan commitResult, 1)}
+	m.qMu.Lock()
+	m.queue = append(m.queue, req)
+	m.qMu.Unlock()
+
+	var res commitResult
+	select {
+	case res = <-req.done:
+		// A concurrent leader posted our batch.
+	case m.leaderCh <- struct{}{}:
+		res = m.lead(req)
 	}
-	m.clock.Store(uint64(commitTime))
-	t.commitTime = commitTime
-	m.committed.Add(1)
+	if res.err != nil {
+		return res.err
+	}
+	t.commitTime = res.time
 	return nil
+}
+
+// lead runs one group-commit batch as the leadership holder and returns
+// own's result. Called with the leadership token held; releases it.
+func (m *Manager) lead(own *commitReq) commitResult {
+	defer func() { <-m.leaderCh }()
+	// The previous leader may have posted our request between our enqueue
+	// and our acquisition of the token; its result send happens-before
+	// the token release, so a buffered value is visible here.
+	select {
+	case res := <-own.done:
+		return res
+	default:
+	}
+	m.qMu.Lock()
+	batch := m.queue
+	m.queue = nil
+	m.qMu.Unlock()
+	m.runBatch(batch)
+	return <-own.done
+}
+
+// runBatch posts one group-commit batch: consecutive commit timestamps,
+// one commit-log append (when a log is attached), one clock advance, and
+// only then the per-request results. Called under the leadership token.
+func (m *Manager) runBatch(batch []*commitReq) {
+	if m.broken != nil {
+		// The store diverged from the commit log earlier: refuse to
+		// widen the divergence. Pending versions still get erased and
+		// locks released so nothing leaks.
+		for _, req := range batch {
+			m.failCommit(req.writes, req.id)
+			req.done <- commitResult{err: m.broken}
+		}
+		return
+	}
+	m.commitBatches.Add(1)
+	base := record.Timestamp(m.clock.Load())
+	if m.log != nil {
+		recs := make([]CommitRecord, len(batch))
+		for i, req := range batch {
+			ct := base + record.Timestamp(i) + 1
+			vs := make([]record.Version, len(req.writes))
+			for j, v := range req.writes {
+				v.Time = ct
+				vs[j] = v
+			}
+			recs[i] = CommitRecord{TxnID: req.id, Time: ct, Versions: vs}
+		}
+		if err := m.log.AppendBatch(recs); err != nil {
+			// Durability failed before anything was stamped: the whole
+			// batch aborts — pending versions erased, locks released,
+			// clock untouched.
+			err = fmt.Errorf("txn: commit log append: %w", err)
+			for _, req := range batch {
+				m.failCommit(req.writes, req.id)
+				req.done <- commitResult{err: err}
+			}
+			return
+		}
+	}
+	results := make([]commitResult, len(batch))
+	advance := base
+	for i, req := range batch {
+		ct := base + record.Timestamp(i) + 1
+		posted, err := m.postTxn(req, ct)
+		if err != nil {
+			results[i] = commitResult{err: err}
+			if posted {
+				// The torn timestamp is burned: no later transaction
+				// may share it.
+				advance = ct
+			}
+			if m.log != nil && m.broken == nil {
+				// The record is already durable but the store refused
+				// it: runtime state has diverged from the log (for this
+				// caller the commit outcome is "unknown" — recovery
+				// will replay the record as committed). Poison the
+				// commit path; reopening the directory reconciles.
+				m.broken = fmt.Errorf("txn: store diverged from the commit log (reopen to recover): %w", err)
+			}
+			continue
+		}
+		results[i] = commitResult{time: ct}
+		advance = ct
+		m.committed.Add(1)
+	}
+	if advance > base {
+		m.clock.Store(uint64(advance))
+	}
+	for i, req := range batch {
+		req.done <- results[i]
+	}
+}
+
+// postTxn stamps every pending version of one transaction with its
+// commit time, releasing locks as it goes. On a store error it cleans up
+// the unposted remainder (failCommit) and reports whether anything of
+// the transaction reached the store stamped.
+func (m *Manager) postTxn(req *commitReq, ct record.Timestamp) (posted bool, err error) {
+	for j, v := range req.writes {
+		stamped, err := m.postKey(v.Key, req.id, ct)
+		if err != nil {
+			m.failCommit(req.writes[j:], req.id)
+			return j > 0 || stamped, fmt.Errorf("txn: commit of %s: %w", v.Key, err)
+		}
+		m.releaseLock(string(v.Key), req.id)
+	}
+	return true, nil
 }
 
 // postKey stamps one pending version with the commit time and runs the
 // commit hook. stamped reports whether the version was committed to the
-// store even if the hook then failed. Called under commitMu.
+// store even if the hook then failed. Called under the leadership token.
 func (m *Manager) postKey(k record.Key, txnID uint64, commitTime record.Timestamp) (stamped bool, err error) {
 	var oldV record.Version
 	var oldOK bool
@@ -329,28 +557,39 @@ func (m *Manager) postKey(k record.Key, txnID uint64, commitTime record.Timestam
 			// the hook.
 			newV = record.Version{Key: k, Time: commitTime, Tombstone: true}
 		}
-		if err := m.hook(commitTime, oldV, oldOK, newV); err != nil {
+		if err := m.callHook(commitTime, oldV, oldOK, newV); err != nil {
 			return true, err
 		}
 	}
 	return true, nil
 }
 
-// failCommit cleans up after a posting error: the failed and unposted
-// keys' pending versions are erased best-effort and every remaining lock
-// is released, so no key stays locked forever. If at least one key was
-// already stamped, the clock advances past the torn timestamp so no later
-// transaction can commit at it. Called under commitMu.
-func (m *Manager) failCommit(remaining []record.Key, txnID uint64, commitTime record.Timestamp, posted bool) {
-	for _, k := range remaining {
+// callHook runs the commit hook, converting a panic into an error: the
+// hook runs user code (secondary-key extraction) on the batch leader's
+// goroutine, and a panic escaping here would unwind the leader with
+// batch-mates still waiting for results — parking the next leader on an
+// empty queue forever. As an error it takes the ordinary torn-commit
+// cleanup path instead.
+func (m *Manager) callHook(commitTime record.Timestamp, oldV record.Version, oldOK bool, newV record.Version) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("txn: commit hook panicked: %v", r)
+		}
+	}()
+	return m.hook(commitTime, oldV, oldOK, newV)
+}
+
+// failCommit cleans up a failed commit: the remaining write set's
+// pending versions are erased best-effort and every remaining lock is
+// released, so no key stays locked forever. Burning a torn timestamp is
+// the batch leader's job. Called under the leadership token.
+func (m *Manager) failCommit(remaining []record.Version, txnID uint64) {
+	for _, v := range remaining {
 		// AbortKey fails if the pending version is gone (e.g. the
 		// failed key was stamped before its hook errored); the lock
 		// must be released regardless.
-		_ = m.store.AbortKey(k, txnID)
-		m.releaseLock(string(k), txnID)
-	}
-	if posted {
-		m.clock.Store(uint64(commitTime))
+		_ = m.store.AbortKey(v.Key, txnID)
+		m.releaseLock(string(v.Key), txnID)
 	}
 	m.aborted.Add(1)
 }
@@ -363,14 +602,19 @@ func (t *Txn) Abort() error {
 		return ErrDone
 	}
 	t.done = true
-	for _, k := range t.sortedWrites() {
-		if err := m.store.AbortKey(k, t.id); err != nil {
-			return fmt.Errorf("txn: abort of %s: %w", k, err)
+	defer m.activeUpdaters.Add(-1)
+	// Locks are released even when erasing a pending version fails —
+	// mirroring failCommit — so a store error can never strand a key
+	// locked forever. The first error is still reported.
+	var firstErr error
+	for _, v := range t.sortedWrites() {
+		if err := m.store.AbortKey(v.Key, t.id); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("txn: abort of %s: %w", v.Key, err)
 		}
-		m.releaseLock(string(k), t.id)
+		m.releaseLock(string(v.Key), t.id)
 	}
 	m.aborted.Add(1)
-	return nil
+	return firstErr
 }
 
 // ReadTxn is a read-only transaction: a frozen timestamp, no locks.
@@ -448,10 +692,17 @@ func (r *ReadTxn) Scan(low record.Key, high record.Bound) ([]record.Version, err
 	return r.Cursor(low, high, ScanOptions{}).Collect()
 }
 
-// Update runs fn inside a transaction, committing on success and aborting
-// on error.
+// Update runs fn inside a transaction, committing on success and
+// aborting on error — or on a panic in fn, which would otherwise leak
+// the transaction's locks and leave it counted as an active updater
+// forever (the panic itself still propagates).
 func (m *Manager) Update(fn func(*Txn) error) error {
 	t := m.Begin()
+	defer func() {
+		if !t.done {
+			_ = t.Abort()
+		}
+	}()
 	if err := fn(t); err != nil {
 		if aerr := t.Abort(); aerr != nil {
 			return errors.Join(err, aerr)

@@ -1,0 +1,212 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// CheckpointFormatVersion identifies the logical checkpoint format.
+// Versions 1 and 2 were the gob whole-image quiescent checkpoints of
+// db.SaveTo; version 3 is the incremental-friendly logical form: a
+// CRC-framed dump of every committed version, per shard, plus the LSN
+// the log was rotated at.
+const CheckpointFormatVersion = 3
+
+const (
+	checkpointName    = "CHECKPOINT"
+	checkpointTmpName = "CHECKPOINT.tmp"
+)
+
+// checkpointChunk bounds how many versions one shard-chunk frame
+// carries, so a frame stays a bounded unit of work and corruption loss.
+const checkpointChunk = 512
+
+// CheckpointInfo is the header of a checkpoint: everything recovery
+// needs before it streams the version chunks.
+type CheckpointInfo struct {
+	// Shards is the key-range shard count the dump is partitioned by;
+	// a durable database reopens with the same count.
+	Shards int
+	// Clock is the commit clock at the rotation boundary: every commit
+	// at or before it is fully contained in the dump.
+	Clock record.Timestamp
+	// LSN is the rotation boundary: log records at or below it are
+	// exactly the dump's contents (dumps are boundary-exact — nothing
+	// stamped after Clock is included, so the log tail past this LSN is
+	// replayed unconditionally), and segments wholly at or below it are
+	// deleted after the checkpoint lands.
+	LSN uint64
+	// Secondaries names the secondary indexes registered when the
+	// checkpoint was taken; reopening requires an extractor per name.
+	Secondaries []string
+}
+
+// WriteCheckpoint durably writes a checkpoint: header, then every
+// shard's committed versions (dump(i) must return them boundary-exact —
+// nothing stamped after info.Clock — and sorted so commit times never
+// decrease; reload applies all shards in one globally time-sorted
+// pass), then a footer proving completeness, all CRC-framed, fsynced to
+// a temporary file and atomically renamed into place. wrap is the
+// fault-injection seam (may be nil).
+func WriteCheckpoint(dir string, wrap func(storage.LogFile) storage.LogFile, info CheckpointInfo, dump func(shard int) ([]record.Version, error)) (err error) {
+	tmpPath := filepath.Join(dir, checkpointTmpName)
+	raw, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create checkpoint: %w", err)
+	}
+	f := storage.LogFile(raw)
+	if wrap != nil {
+		f = wrap(f)
+	}
+	defer func() {
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmpPath)
+		}
+	}()
+
+	write := func(payload []byte) error {
+		if _, werr := f.Write(appendFrame(nil, payload)); werr != nil {
+			return fmt.Errorf("wal: write checkpoint: %w", werr)
+		}
+		return nil
+	}
+
+	e := record.NewEncoder(nil)
+	e.Byte(frameCheckpointHeader)
+	e.Uvarint(CheckpointFormatVersion)
+	e.Uvarint(uint64(info.Shards))
+	e.Time(info.Clock)
+	e.Uvarint(info.LSN)
+	e.Uvarint(uint64(len(info.Secondaries)))
+	for _, name := range info.Secondaries {
+		e.Blob([]byte(name))
+	}
+	if err = write(e.Bytes()); err != nil {
+		return err
+	}
+
+	for shard := 0; shard < info.Shards; shard++ {
+		vs, derr := dump(shard)
+		if derr != nil {
+			err = fmt.Errorf("wal: checkpoint dump of shard %d: %w", shard, derr)
+			return err
+		}
+		for base := 0; base < len(vs); base += checkpointChunk {
+			end := min(base+checkpointChunk, len(vs))
+			e := record.NewEncoder(nil)
+			e.Byte(frameShardChunk)
+			e.Uvarint(uint64(shard))
+			e.Versions(vs[base:end])
+			if err = write(e.Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+
+	e = record.NewEncoder(nil)
+	e.Byte(frameCheckpointFooter)
+	e.Uvarint(info.LSN)
+	if err = write(e.Bytes()); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err = os.Rename(tmpPath, filepath.Join(dir, checkpointName)); err != nil {
+		return fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// ReadCheckpoint reads dir's checkpoint, streaming each shard chunk's
+// versions through apply (in file order, which per shard is commit-time
+// order). found=false means no checkpoint exists (a fresh or
+// pre-first-checkpoint directory). A checkpoint is only ever installed
+// complete, so a torn or incomplete one is corruption, not a crash
+// artifact: the error says so.
+func ReadCheckpoint(dir string, apply func(shard int, vs []record.Version) error) (info CheckpointInfo, found bool, err error) {
+	buf, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if os.IsNotExist(err) {
+		return CheckpointInfo{}, false, nil
+	}
+	if err != nil {
+		return CheckpointInfo{}, false, err
+	}
+	sawHeader, sawFooter := false, false
+	clean, err := parseFrames(buf, func(payload []byte) error {
+		d := record.NewDecoder(payload)
+		switch typ := d.Byte(); typ {
+		case frameCheckpointHeader:
+			if sawHeader {
+				return fmt.Errorf("wal: duplicate checkpoint header")
+			}
+			sawHeader = true
+			if v := d.Uvarint(); v != CheckpointFormatVersion {
+				return fmt.Errorf("wal: checkpoint format %d, want %d", v, CheckpointFormatVersion)
+			}
+			info.Shards = int(d.Uvarint())
+			info.Clock = d.Time()
+			info.LSN = d.Uvarint()
+			n := d.Uvarint()
+			if n > uint64(d.Remaining()) {
+				return fmt.Errorf("wal: checkpoint header: %d secondaries", n)
+			}
+			for i := uint64(0); i < n; i++ {
+				info.Secondaries = append(info.Secondaries, string(d.Blob()))
+			}
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("wal: checkpoint header: %w", err)
+			}
+			return nil
+		case frameShardChunk:
+			if !sawHeader || sawFooter {
+				return fmt.Errorf("wal: checkpoint chunk outside header/footer")
+			}
+			shard := int(d.Uvarint())
+			vs := d.Versions()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("wal: checkpoint chunk: %w", err)
+			}
+			if shard < 0 || shard >= info.Shards {
+				return fmt.Errorf("wal: checkpoint chunk for shard %d of %d", shard, info.Shards)
+			}
+			if apply == nil {
+				return nil
+			}
+			return apply(shard, vs)
+		case frameCheckpointFooter:
+			if !sawHeader || sawFooter {
+				return fmt.Errorf("wal: misplaced checkpoint footer")
+			}
+			sawFooter = true
+			if lsn := d.Uvarint(); d.Err() != nil || lsn != info.LSN {
+				return fmt.Errorf("wal: checkpoint footer LSN %d, header says %d", lsn, info.LSN)
+			}
+			return nil
+		default:
+			return fmt.Errorf("wal: unknown checkpoint frame type %d", typ)
+		}
+	})
+	if err != nil {
+		return CheckpointInfo{}, false, err
+	}
+	if !clean || !sawHeader || !sawFooter {
+		return CheckpointInfo{}, false, fmt.Errorf("wal: checkpoint incomplete or corrupt")
+	}
+	return info, true, nil
+}
+
+// ReadCheckpointInfo reads only the checkpoint header (still verifying
+// every frame's CRC) — the inspection path for tools.
+func ReadCheckpointInfo(dir string) (CheckpointInfo, bool, error) {
+	return ReadCheckpoint(dir, nil)
+}

@@ -1,0 +1,320 @@
+// Package wal is the durability subsystem of the engine: an append-only,
+// CRC-framed, fsync-batched write-ahead log of commit records, plus the
+// logical checkpoint format that lets the log be truncated without
+// stopping writers.
+//
+// # Log format
+//
+// The log is a sequence of numbered segment files (wal-00000001.log,
+// wal-00000002.log, ...). Each segment is a run of frames:
+//
+//	| payload length (uint32 LE) | CRC32-C of payload (uint32 LE) | payload |
+//
+// A commit payload carries the frame's log sequence number (LSN, global
+// across segments), the transaction id, the commit time, and the stamped
+// write set in the record package's wire encoding. Because versions are
+// immutable once stamped (the non-deletion policy), redo is the whole
+// recovery story: there is no undo logging — uncommitted data never
+// becomes durable, so there is nothing to roll back.
+//
+// Replay stops at the first torn frame (short header, short payload, or
+// CRC mismatch): everything before it is the committed prefix, everything
+// from it on was never acknowledged. A batch append is a single
+// write+fsync, so a crash can also leave a fully intact frame whose
+// committer was never acknowledged — recovery treats it as committed
+// (standard presumed-durable-once-logged semantics); what it can never do
+// is surface half a transaction, because a frame is exactly one
+// transaction and is guarded by its CRC.
+//
+// # Group commit
+//
+// Log.AppendBatch encodes every record of a batch into one buffer,
+// issues one Write and one Sync: the fsync cost of durability is
+// amortized across every transaction the batch carries. Stats reports
+// the ratio.
+//
+// # Checkpoints
+//
+// A checkpoint (see checkpoint.go) is a logical, CRC-framed dump of
+// every committed version up to a boundary, taken shard by shard under
+// short read latches while writers keep committing, stamped with the
+// LSN the log was rotated at. Dumps are boundary-exact (versions
+// stamped after the boundary clock are filtered out; their log records
+// all sit past the rotation LSN), so checkpoint reload plus log-tail
+// replay applies every commit exactly once, in global commit-time
+// order. Once a checkpoint is durable (written to a temp file, fsynced,
+// atomically renamed), segments wholly at or below its LSN are deleted:
+// incremental truncation with writers running.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Frame payload types.
+const (
+	frameCommit           = 1
+	frameCheckpointHeader = 2
+	frameShardChunk       = 3
+	frameCheckpointFooter = 4
+)
+
+const (
+	frameHeaderSize = 8
+	// maxFrame bounds a single frame payload; anything larger in a
+	// length header is corruption, not data.
+	maxFrame = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segmentName returns the file name of segment i.
+func segmentName(i uint64) string { return fmt.Sprintf("wal-%08d.log", i) }
+
+// Segment locates one numbered log segment on disk.
+type Segment struct {
+	Index uint64
+	Path  string
+}
+
+// Segments lists dir's log segments in index order.
+func Segments(dir string) ([]Segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []Segment
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var idx uint64
+		if _, err := fmt.Sscanf(name, "wal-%08d.log", &idx); err != nil || idx == 0 {
+			continue
+		}
+		segs = append(segs, Segment{Index: idx, Path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Index < segs[j].Index })
+	return segs, nil
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding segments and checkpoints.
+	Dir string
+	// WrapFile, if set, wraps every file the log opens for writing —
+	// the fault-injection seam (storage.TornLogFile) for torn-write
+	// crash tests.
+	WrapFile func(storage.LogFile) storage.LogFile
+}
+
+func (o Options) wrap(f storage.LogFile) storage.LogFile {
+	if o.WrapFile == nil {
+		return f
+	}
+	return o.WrapFile(f)
+}
+
+// Stats is the log writer's accounting. Records/Syncs is the group
+// commit amortization factor.
+type Stats struct {
+	Appends uint64 // batches appended
+	Records uint64 // commit records appended
+	Syncs   uint64 // fsyncs issued for appends
+	Bytes   uint64 // bytes durably written to segments
+}
+
+// Log is the append side of the write-ahead log. It is safe for
+// concurrent use, though the transaction manager only ever appends from
+// one batch leader at a time.
+type Log struct {
+	mu     sync.Mutex
+	opts   Options
+	f      storage.LogFile
+	seg    uint64
+	lsn    uint64
+	broken error
+	stats  Stats
+}
+
+// Open opens a log in opts.Dir for appending, starting a fresh segment
+// numbered nextSeg (1 for an empty directory; one past the last existing
+// segment after recovery — the torn tail of an old segment is never
+// appended to). lastLSN seeds the sequence numbers.
+func Open(opts Options, nextSeg, lastLSN uint64) (*Log, error) {
+	if nextSeg == 0 {
+		nextSeg = 1
+	}
+	l := &Log{opts: opts, lsn: lastLSN}
+	if err := l.openSegment(nextSeg); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// openSegment creates segment i and makes it current. Called under mu
+// (or before the log is shared).
+func (l *Log) openSegment(i uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segmentName(i)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %d: %w", i, err)
+	}
+	l.f = l.opts.wrap(f)
+	l.seg = i
+	syncDir(l.opts.Dir)
+	return nil
+}
+
+// encodeCommit builds the payload of one commit frame.
+func encodeCommit(lsn uint64, rec txn.CommitRecord) []byte {
+	e := record.NewEncoder(nil)
+	e.Byte(frameCommit)
+	e.Uvarint(lsn)
+	e.Uvarint(rec.TxnID)
+	e.Time(rec.Time)
+	e.Versions(rec.Versions)
+	return e.Bytes()
+}
+
+// appendFrame appends one CRC frame around payload.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// AppendBatch appends one frame per commit record and makes them all
+// durable with a single write and a single fsync — the group-commit
+// amortization. On error the log is broken: the batch (and everything
+// after it) must be considered unacknowledged, and recovery decides what
+// actually persisted.
+func (l *Log) AppendBatch(recs []txn.CommitRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	var buf []byte
+	for _, rec := range recs {
+		l.lsn++
+		buf = appendFrame(buf, encodeCommit(l.lsn, rec))
+	}
+	n, err := l.f.Write(buf)
+	l.stats.Bytes += uint64(n)
+	if err != nil {
+		l.broken = fmt.Errorf("wal: segment %d append: %w", l.seg, err)
+		return l.broken
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = fmt.Errorf("wal: segment %d sync: %w", l.seg, err)
+		return l.broken
+	}
+	l.stats.Appends++
+	l.stats.Records += uint64(len(recs))
+	l.stats.Syncs++
+	return nil
+}
+
+// Rotate closes the current segment and starts the next one, returning
+// the LSN boundary: every record at or below it is in a closed segment.
+// The checkpointer calls this under the commit manager's Quiesce, so the
+// boundary also means "fully posted to the store".
+func (l *Log) Rotate() (lastLSN uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return 0, l.broken
+	}
+	// Every append already synced, so closing loses nothing.
+	if err := l.f.Close(); err != nil {
+		l.broken = fmt.Errorf("wal: close segment %d: %w", l.seg, err)
+		return 0, l.broken
+	}
+	if err := l.openSegment(l.seg + 1); err != nil {
+		l.broken = err
+		return 0, err
+	}
+	return l.lsn, nil
+}
+
+// RemoveSegmentsBelow deletes segments with index < keep: the truncation
+// step after a checkpoint is durable.
+func (l *Log) RemoveSegmentsBelow(keep uint64) error {
+	segs, err := Segments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.Index >= keep {
+			continue
+		}
+		if err := os.Remove(s.Path); err != nil {
+			return fmt.Errorf("wal: remove %s: %w", s.Path, err)
+		}
+	}
+	syncDir(l.opts.Dir)
+	return nil
+}
+
+// CurrentSegment returns the index of the segment appends go to.
+func (l *Log) CurrentSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// LastLSN returns the sequence number of the last appended record.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Stats returns a snapshot of the append accounting.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close closes the current segment. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		// Best-effort close of a dead device; the error that broke the
+		// log already reached the committers.
+		_ = l.f.Close()
+		return nil
+	}
+	l.broken = fmt.Errorf("wal: log closed")
+	return l.f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates are durable.
+// Best-effort: not every platform supports it, and the simulated crash
+// tests do not model directory-entry loss.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+var _ txn.CommitLog = (*Log)(nil)

@@ -1,0 +1,362 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+func rec(id uint64, t record.Timestamp, keys ...string) txn.CommitRecord {
+	r := txn.CommitRecord{TxnID: id, Time: t}
+	for _, k := range keys {
+		r.Versions = append(r.Versions, record.Version{
+			Key: record.StringKey(k), Time: t, TxnID: id, Value: []byte("v-" + k),
+		})
+	}
+	return r
+}
+
+// replayAll replays every segment of dir in order, starting after
+// afterLSN, and returns the records seen.
+func replayAll(t *testing.T, dir string, afterLSN uint64) []txn.CommitRecord {
+	t.Helper()
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []txn.CommitRecord
+	last := afterLSN
+	for _, seg := range segs {
+		lastLSN, _, err := ReplayFile(seg.Path, last, func(lsn uint64, r txn.CommitRecord) error {
+			out = append(out, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay %s: %v", seg.Path, err)
+		}
+		if lastLSN > last {
+			last = lastLSN
+		}
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1 := []txn.CommitRecord{rec(2, 1, "a", "b"), rec(3, 2, "c")}
+	batch2 := []txn.CommitRecord{rec(4, 3, "a")}
+	if err := l.AppendBatch(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(batch2); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != 2 || st.Records != 3 || st.Syncs != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if l.LastLSN() != 3 {
+		t.Errorf("last LSN = %d, want 3", l.LastLSN())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := replayAll(t, dir, 0)
+	want := append(append([]txn.CommitRecord{}, batch1...), batch2...)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].TxnID != want[i].TxnID || got[i].Time != want[i].Time ||
+			len(got[i].Versions) != len(want[i].Versions) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Versions {
+			g, w := got[i].Versions[j], want[i].Versions[j]
+			if !g.Key.Equal(w.Key) || g.Time != w.Time || string(g.Value) != string(w.Value) {
+				t.Fatalf("record %d version %d = %+v, want %+v", i, j, g, w)
+			}
+		}
+	}
+
+	// afterLSN filtering: skipping the first two records.
+	if got := replayAll(t, dir, 2); len(got) != 1 || got[0].TxnID != 4 {
+		t.Fatalf("filtered replay = %+v", got)
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := l.AppendBatch([]txn.CommitRecord{rec(i+1, record.Timestamp(i), "k")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	segs, _ := Segments(dir)
+	path := segs[0].Path
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file at every possible byte length; replay must always
+	// succeed and yield a prefix of the five records.
+	for cut := 0; cut <= len(whole); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var seen []uint64
+		lastLSN, clean, err := ReplayFile(path, 0, func(lsn uint64, r txn.CommitRecord) error {
+			seen = append(seen, lsn)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: replay error %v", cut, err)
+		}
+		if wantClean := frameEndsAt(whole, cut); clean != wantClean {
+			t.Fatalf("cut=%d: clean=%v, want %v", cut, clean, wantClean)
+		}
+		if lastLSN != uint64(len(seen)) {
+			t.Fatalf("cut=%d: lastLSN=%d with %d records", cut, lastLSN, len(seen))
+		}
+		for i, lsn := range seen {
+			if lsn != uint64(i+1) {
+				t.Fatalf("cut=%d: replayed LSN %d at position %d", cut, lsn, i)
+			}
+		}
+		if len(seen) > 5 {
+			t.Fatalf("cut=%d: replayed %d records", cut, len(seen))
+		}
+	}
+	// A corrupted byte inside a frame body stops replay at that frame.
+	corrupt := append([]byte{}, whole...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	_, clean, err := ReplayFile(path, 0, func(uint64, txn.CommitRecord) error { n++; return nil })
+	if err != nil || clean || n != 4 {
+		t.Fatalf("corrupt tail: n=%d clean=%v err=%v", n, clean, err)
+	}
+}
+
+// frameEndsAt reports whether offset cut is a frame boundary of buf.
+func frameEndsAt(buf []byte, cut int) bool {
+	off := 0
+	for off < cut {
+		if off+frameHeaderSize > len(buf) {
+			return false
+		}
+		n := int(uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24)
+		off += frameHeaderSize + n
+	}
+	return off == cut
+}
+
+func TestRotateAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch([]txn.CommitRecord{rec(2, 1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	boundary, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundary != 1 {
+		t.Fatalf("rotation boundary = %d, want 1", boundary)
+	}
+	if err := l.AppendBatch([]txn.CommitRecord{rec(3, 2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := Segments(dir)
+	if len(segs) != 2 || segs[0].Index != 1 || segs[1].Index != 2 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	// Records span the rotation; replay stitches them back together.
+	if got := replayAll(t, dir, 0); len(got) != 2 || got[0].TxnID != 2 || got[1].TxnID != 3 {
+		t.Fatalf("replay across rotation = %+v", got)
+	}
+	// Truncation drops the closed segment, keeps the live one.
+	if err := l.RemoveSegmentsBelow(l.CurrentSegment()); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = Segments(dir)
+	if len(segs) != 1 || segs[0].Index != 2 {
+		t.Fatalf("segments after truncation = %+v", segs)
+	}
+	if got := replayAll(t, dir, boundary); len(got) != 1 || got[0].TxnID != 3 {
+		t.Fatalf("replay after truncation = %+v", got)
+	}
+	l.Close()
+}
+
+func TestAppendAfterTornWriteFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	plan := storage.NewTearPlan(40)
+	l, err := Open(Options{
+		Dir:      dir,
+		WrapFile: func(f storage.LogFile) storage.LogFile { return storage.NewTornLogFile(f, plan) },
+	}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch([]txn.CommitRecord{rec(2, 1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	// The second append crosses the 40-byte budget and tears.
+	err = l.AppendBatch([]txn.CommitRecord{rec(3, 2, "b")})
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("torn append error = %v", err)
+	}
+	// The log is broken: later appends fail without touching the device.
+	if err := l.AppendBatch([]txn.CommitRecord{rec(4, 3, "c")}); err == nil {
+		t.Fatal("append on broken log should fail")
+	}
+	if _, err := l.Rotate(); err == nil {
+		t.Fatal("rotate on broken log should fail")
+	}
+	// Recovery sees exactly the intact prefix.
+	if got := replayAll(t, dir, 0); len(got) != 1 || got[0].TxnID != 2 {
+		t.Fatalf("replay after tear = %+v", got)
+	}
+	l.Close()
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	vs := func(shard int) []record.Version {
+		var out []record.Version
+		for i := 0; i < 700; i++ { // > checkpointChunk: forces chunking
+			out = append(out, record.Version{
+				Key:   record.StringKey(string(rune('a'+shard)) + "key"),
+				Time:  record.Timestamp(i + 1),
+				Value: []byte{byte(shard), byte(i)},
+			})
+		}
+		return out
+	}
+	info := CheckpointInfo{Shards: 2, Clock: 700, LSN: 41, Secondaries: []string{"dept"}}
+	err := WriteCheckpoint(dir, nil, info, func(shard int) ([]record.Version, error) {
+		return vs(shard), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int][]record.Version{}
+	gotInfo, found, err := ReadCheckpoint(dir, func(shard int, chunk []record.Version) error {
+		got[shard] = append(got[shard], chunk...)
+		return nil
+	})
+	if err != nil || !found {
+		t.Fatalf("read: found=%v err=%v", found, err)
+	}
+	if gotInfo.Shards != 2 || gotInfo.Clock != 700 || gotInfo.LSN != 41 ||
+		len(gotInfo.Secondaries) != 1 || gotInfo.Secondaries[0] != "dept" {
+		t.Fatalf("info = %+v", gotInfo)
+	}
+	for shard := 0; shard < 2; shard++ {
+		want := vs(shard)
+		if len(got[shard]) != len(want) {
+			t.Fatalf("shard %d: %d versions, want %d", shard, len(got[shard]), len(want))
+		}
+		for i := range want {
+			g := got[shard][i]
+			if !g.Key.Equal(want[i].Key) || g.Time != want[i].Time || string(g.Value) != string(want[i].Value) {
+				t.Fatalf("shard %d version %d = %+v, want %+v", shard, i, g, want[i])
+			}
+		}
+	}
+	// Header-only read agrees.
+	hdr, found, err := ReadCheckpointInfo(dir)
+	if err != nil || !found || hdr.LSN != 41 {
+		t.Fatalf("info read: %+v found=%v err=%v", hdr, found, err)
+	}
+}
+
+func TestCheckpointAbsentAndTorn(t *testing.T) {
+	dir := t.TempDir()
+	if _, found, err := ReadCheckpoint(dir, nil); err != nil || found {
+		t.Fatalf("empty dir: found=%v err=%v", found, err)
+	}
+
+	// A torn checkpoint write never installs: the tmp file stays and is
+	// ignored by readers.
+	plan := storage.NewTearPlan(30)
+	err := WriteCheckpoint(dir,
+		func(f storage.LogFile) storage.LogFile { return storage.NewTornLogFile(f, plan) },
+		CheckpointInfo{Shards: 1, Clock: 3, LSN: 7},
+		func(int) ([]record.Version, error) {
+			return []record.Version{{Key: record.StringKey("k"), Time: 1, Value: []byte("v")}}, nil
+		})
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("torn checkpoint error = %v", err)
+	}
+	if _, found, err := ReadCheckpoint(dir, nil); err != nil || found {
+		t.Fatalf("after torn write: found=%v err=%v", found, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointName)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint file should not exist: %v", err)
+	}
+
+	// An installed checkpoint that is then corrupted is a hard error.
+	err = WriteCheckpoint(dir, nil, CheckpointInfo{Shards: 1, Clock: 3, LSN: 7},
+		func(int) ([]record.Version, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointName)
+	buf, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, buf[:len(buf)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(dir, nil); err == nil {
+		t.Fatal("truncated installed checkpoint should be a hard error")
+	}
+}
+
+func TestOpenContinuesLSNAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch([]txn.CommitRecord{rec(2, 1, "a"), rec(3, 2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// A reopened log starts a fresh segment past the old one and
+	// continues the LSN sequence.
+	l2, err := Open(Options{Dir: dir}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.AppendBatch([]txn.CommitRecord{rec(4, 3, "c")}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	got := replayAll(t, dir, 0)
+	if len(got) != 3 || got[2].TxnID != 4 {
+		t.Fatalf("replay = %+v", got)
+	}
+}
