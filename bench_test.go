@@ -560,3 +560,58 @@ func BenchmarkCursorStream(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPagedCheckpoint measures the incremental paged checkpoint —
+// the acceptance property of the paged-device subsystem: after a fixed
+// small number of updates, a checkpoint's cost tracks the dirty-page
+// set, not the database size. Run the two sizes and compare ms/op and
+// flushed-pages/op: both should stay flat while db-pages quadruples.
+func BenchmarkPagedCheckpoint(b *testing.B) {
+	for _, size := range []int{4_000, 16_000} {
+		b.Run(fmt.Sprintf("versions=%d", size), func(b *testing.B) {
+			d, err := db.Open(db.Config{
+				Dir: b.TempDir(), PagedDevices: true, Shards: 2, CheckpointBytes: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			for base := 0; base < size; base += 256 {
+				err := d.Update(func(tx *txn.Txn) error {
+					for i := base; i < base+256 && i < size; i++ {
+						k := workload.SpreadKey(uint64(i))
+						if err := tx.Put(k, []byte("paged-checkpoint-payload-0123456789")); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := d.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			flushedBase := d.Stats().Buffer.FlushedPages
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				b.StopTimer()
+				for i := 0; i < 16; i++ {
+					k := workload.SpreadKey(uint64(i * (size/16 + 1)))
+					if err := d.Update(func(tx *txn.Txn) error { return tx.Put(k, []byte("dirty")) }); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if err := d.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := d.Stats()
+			b.ReportMetric(float64(st.Buffer.FlushedPages-flushedBase)/float64(b.N), "flushedpages/op")
+			b.ReportMetric(float64(st.Magnetic.PagesInUse), "db-pages")
+		})
+	}
+}

@@ -28,16 +28,20 @@ import (
 // point mirrors the benchPoint schema tsbench writes. Old archives
 // predate the extra metric fields; zero values mean "not measured".
 type point struct {
-	Experiment     string  `json:"experiment"`
-	Shards         int     `json:"shards"`
-	Workers        int     `json:"workers"`
-	Ops            uint64  `json:"ops"`
-	Conflicts      uint64  `json:"conflicts"`
-	ElapsedSec     float64 `json:"elapsed_sec"`
-	OpsPerSec      float64 `json:"ops_per_sec"`
-	PageReads      float64 `json:"page_reads,omitempty"`
-	AvgPutMicros   float64 `json:"avg_put_us,omitempty"`
-	RecordsPerSync float64 `json:"records_per_sync,omitempty"`
+	Experiment       string  `json:"experiment"`
+	Shards           int     `json:"shards"`
+	Workers          int     `json:"workers"`
+	Ops              uint64  `json:"ops"`
+	Conflicts        uint64  `json:"conflicts"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	PageReads        float64 `json:"page_reads,omitempty"`
+	AvgPutMicros     float64 `json:"avg_put_us,omitempty"`
+	RecordsPerSync   float64 `json:"records_per_sync,omitempty"`
+	BurnedBytesPerOp float64 `json:"burned_b_per_op,omitempty"`
+	WormUtilization  float64 `json:"worm_utilization,omitempty"`
+	CheckpointMillis float64 `json:"checkpoint_ms,omitempty"`
+	FlushedPages     uint64  `json:"flushed_pages,omitempty"`
 }
 
 // key identifies a trajectory point across runs.
@@ -79,13 +83,20 @@ func load(path string) (map[key]point, error) {
 	return byKey, nil
 }
 
-// metric names the quantity a point is compared on.
+// metric names the quantity a point is compared on, and its regression
+// direction: burned bytes per op and checkpoint milliseconds regress
+// upward (more write-once capacity consumed, slower checkpoints), like
+// page reads and put latency; throughput regresses downward.
 func metric(p point) (name string, value float64, lowerIsBetter bool) {
 	switch {
 	case p.PageReads > 0:
 		return "pagereads/op", p.PageReads, true
 	case p.AvgPutMicros > 0:
 		return "us/put", p.AvgPutMicros, true
+	case p.BurnedBytesPerOp > 0:
+		return "burned-B/op", p.BurnedBytesPerOp, true
+	case p.CheckpointMillis > 0:
+		return "ckpt-ms", p.CheckpointMillis, true
 	default:
 		return "ops/sec", p.OpsPerSec, false
 	}
@@ -146,6 +157,20 @@ func compare(oldPath, newPath string) (string, error) {
 				out += fmt.Sprintf("%-28s %-12s %14.2f %14.2f %s\n",
 					label, "commits/sync", o.RecordsPerSync, n.RecordsPerSync,
 					deltaStr(o.RecordsPerSync, n.RecordsPerSync, false))
+			}
+			if o.WormUtilization > 0 || n.WormUtilization > 0 {
+				// Utilization regresses downward: less of each burned
+				// sector holds payload.
+				out += fmt.Sprintf("%-28s %-12s %14.2f %14.2f %s\n",
+					label, "utilization", o.WormUtilization, n.WormUtilization,
+					deltaStr(o.WormUtilization, n.WormUtilization, false))
+			}
+			if o.FlushedPages > 0 || n.FlushedPages > 0 {
+				// Pages flushed for the same fixed dirty set: growth
+				// means the checkpoint is drifting away from O(dirty).
+				out += fmt.Sprintf("%-28s %-12s %14d %14d %s\n",
+					label, "flushedpages", o.FlushedPages, n.FlushedPages,
+					deltaStr(float64(o.FlushedPages), float64(n.FlushedPages), true))
 			}
 		}
 	}

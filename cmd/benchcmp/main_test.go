@@ -108,3 +108,28 @@ func TestCompareBadInput(t *testing.T) {
 		t.Fatal("missing file must fail")
 	}
 }
+
+func TestComparePagedPoints(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `[
+	 {"experiment":"worm-burn-rate","shards":1,"ops":5000,"burned_b_per_op":40,"worm_utilization":0.9},
+	 {"experiment":"checkpoint-duration","shards":2,"ops":20000,"checkpoint_ms":4.0,"flushed_pages":20}
+	]`
+	newJSON := `[
+	 {"experiment":"worm-burn-rate","shards":1,"ops":5000,"burned_b_per_op":60,"worm_utilization":0.7},
+	 {"experiment":"checkpoint-duration","shards":2,"ops":20000,"checkpoint_ms":6.0,"flushed_pages":80}
+	]`
+	out, err := compare(write(t, dir, "old.json", oldJSON), write(t, dir, "new.json", newJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both headline metrics are lower-is-better: growth is flagged.
+	for _, want := range []string{"burned-B/op", "ckpt-ms", "utilization", "flushedpages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "regression?"); got < 3 {
+		t.Errorf("want >=3 regression flags (burned/op +50%%, ckpt-ms +50%%, flushed +300%%, utilization -22%%), got %d:\n%s", got, out)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	tsbdump [-policy NAME] [-ops N] [-u FRACTION] [-dump] [-seed N] [-scan N]
 //	tsbdump -waldir DIR
+//	tsbdump -pagedir DIR
 //
 // -scan N streams the first N records of the current snapshot through the
 // lazy cursor API — pagination over the tree, not a materialized scan.
@@ -15,6 +16,14 @@
 // indexes) and every WAL segment frame by frame — LSN, transaction,
 // commit time, write-set size — ending with whether the tail is clean or
 // torn. It reads without locking; safe on a live or crashed directory.
+//
+// -pagedir DIR inspects a paged durable directory's device files: the
+// magnetic page file page by page (written/hole, payload bytes, CRC
+// status) and the WORM burn file sector by sector (payload vs. waste,
+// CRC status, whether the sector is inside the checkpoint boundary or
+// an orphaned post-boundary burn), ending with the burned-waste
+// accounting — SpaceO, payload, waste, utilization. It reads without
+// locking; safe on a live or crashed directory.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/pagestore"
 	"repro/internal/record"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -40,10 +50,18 @@ func main() {
 	dump := flag.Bool("dump", false, "print the full node-by-node tree dump")
 	scan := flag.Int("scan", 0, "stream the first N snapshot records through a cursor")
 	waldir := flag.String("waldir", "", "inspect a durable database directory (checkpoint + WAL) and exit")
+	pagedir := flag.String("pagedir", "", "inspect a paged durable directory's device files (page-by-page, sector-by-sector) and exit")
 	flag.Parse()
 
 	if *waldir != "" {
 		if err := dumpWALDir(os.Stdout, *waldir); err != nil {
+			fmt.Fprintln(os.Stderr, "tsbdump:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pagedir != "" {
+		if err := dumpPagedDir(os.Stdout, *pagedir); err != nil {
 			fmt.Fprintln(os.Stderr, "tsbdump:", err)
 			os.Exit(1)
 		}
@@ -63,8 +81,17 @@ func dumpWALDir(w io.Writer, dir string) error {
 		return err
 	}
 	if found {
-		fmt.Fprintf(w, "checkpoint: format v%d, %d shard(s), clock=%s, LSN boundary %d\n",
-			wal.CheckpointFormatVersion, info.Shards, info.Clock, info.LSN)
+		version, kind := wal.CheckpointFormatVersion, "logical"
+		if info.Paged != nil {
+			version, kind = wal.PagedCheckpointFormatVersion, "paged"
+		}
+		fmt.Fprintf(w, "checkpoint: format v%d (%s), %d shard(s), clock=%s, LSN boundary %d\n",
+			version, kind, info.Shards, info.Clock, info.LSN)
+		if info.Paged != nil {
+			fmt.Fprintf(w, "paged devices: epoch %d, %d pages of %d B, %d sectors of %d B fsynced\n",
+				info.Paged.Epoch, info.Paged.Alloc.Pages, info.Paged.PageSize,
+				info.Paged.Burned, info.Paged.SectorSize)
+		}
 		if len(info.Secondaries) > 0 {
 			fmt.Fprintf(w, "secondary indexes: %s\n", strings.Join(info.Secondaries, ", "))
 		}
@@ -104,6 +131,94 @@ func dumpWALDir(w io.Writer, dir string) error {
 		}
 	}
 	fmt.Fprintf(w, "total: %d commit record(s) across %d segment(s)\n", total, len(segs))
+	return nil
+}
+
+// dumpPagedDir prints a paged durable directory's device files page by
+// page and sector by sector, with CRC status and the burned-waste
+// accounting.
+func dumpPagedDir(w io.Writer, dir string) error {
+	info, found, err := wal.ReadCheckpointInfo(dir)
+	if err != nil {
+		return err
+	}
+	var boundary uint64
+	if found && info.Paged != nil {
+		m := info.Paged
+		boundary = m.Burned
+		fmt.Fprintf(w, "checkpoint: format v%d (paged), epoch %d, clock=%s, LSN boundary %d\n",
+			wal.PagedCheckpointFormatVersion, m.Epoch, info.Clock, info.LSN)
+		fmt.Fprintf(w, "allocator: %d pages (%d free), boundary %d burned sectors\n",
+			m.Alloc.Pages, len(m.Alloc.Free), m.Burned)
+	} else if found {
+		return fmt.Errorf("%s holds a logical-device database (use -waldir)", dir)
+	} else {
+		fmt.Fprintln(w, "checkpoint: none (uninstalled or fresh directory)")
+	}
+
+	pagePath, burnPath := pagestore.Paths(dir)
+	if _, err := os.Stat(pagePath + ".journal"); err == nil {
+		fmt.Fprintln(w, "rollback journal: PRESENT (a checkpoint flush was in progress)")
+	}
+
+	fmt.Fprintf(w, "\npage file %s:\n", pagePath)
+	written, holes, bad := 0, 0, 0
+	pageSize, pages, err := pagestore.InspectPages(pagePath, func(p pagestore.PageInfo) error {
+		switch {
+		case !p.Written:
+			holes++
+			fmt.Fprintf(w, "  page %-6d hole (never flushed)\n", p.Page)
+		case p.CRCOK:
+			written++
+			fmt.Fprintf(w, "  page %-6d %4d B  crc ok\n", p.Page, p.Len)
+		default:
+			bad++
+			fmt.Fprintf(w, "  page %-6d %4d B  CRC BAD\n", p.Page, p.Len)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %d slot(s) of %d B: %d written, %d hole(s), %d bad\n",
+		pages, pageSize, written, holes, bad)
+
+	fmt.Fprintf(w, "\nburn file %s:\n", burnPath)
+	var payload, waste, orphanWaste uint64
+	badSectors := 0
+	sectorSize, sectors, err := pagestore.InspectSectors(burnPath, func(s pagestore.SectorInfo) error {
+		mark := ""
+		if found && s.Sector >= boundary {
+			mark = "  [past boundary: orphan burn]"
+		}
+		if !s.CRCOK {
+			badSectors++
+			fmt.Fprintf(w, "  sector %-6d CRC BAD / torn%s\n", s.Sector, mark)
+			return nil
+		}
+		payload += uint64(s.Len)
+		fmt.Fprintf(w, "  sector %-6d %4d B payload%s\n", s.Sector, s.Len, mark)
+		if found && s.Sector >= boundary {
+			orphanWaste += uint64(s.Len)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	burnedBytes := sectors * uint64(sectorSize)
+	if burnedBytes >= payload {
+		waste = burnedBytes - payload
+	}
+	util := 1.0
+	if burnedBytes > 0 {
+		util = float64(payload) / float64(burnedBytes)
+	}
+	fmt.Fprintf(w, "  %d sector(s) of %d B burned = %d B SpaceO: %d B payload, %d B waste (utilization %.2f), %d bad\n",
+		sectors, sectorSize, burnedBytes, payload, waste, util, badSectors)
+	if orphanWaste > 0 {
+		fmt.Fprintf(w, "  orphaned post-boundary burns hold %d payload byte(s) referenced by nothing (dead waste)\n", orphanWaste)
+	}
 	return nil
 }
 

@@ -61,3 +61,58 @@ func TestDumpWALDirEmpty(t *testing.T) {
 		t.Errorf("empty dir dump:\n%s", out)
 	}
 }
+
+func TestDumpPagedDir(t *testing.T) {
+	dir := t.TempDir()
+	d, err := db.Open(db.Config{Dir: dir, PagedDevices: true, Shards: 2, CheckpointBytes: -1,
+		LeafCapacity: 512, IndexCapacity: 1024, SectorSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		err := d.Update(func(tx *txn.Txn) error {
+			return tx.Put(record.StringKey("key"+string(rune('a'+i%26))), []byte("0123456789abcdef0123456789"))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := dumpPagedDir(&sb, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"format v4 (paged)", "page file", "crc ok", "burn file", "payload", "utilization", "0 bad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("paged dump missing %q:\n%s", want, out)
+		}
+	}
+	// The WAL dump also understands a paged directory.
+	sb.Reset()
+	if err := dumpWALDir(&sb, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "paged devices: epoch") {
+		t.Errorf("waldir dump missing paged header:\n%s", sb.String())
+	}
+}
+
+func TestDumpPagedDirRejectsLogical(t *testing.T) {
+	dir := t.TempDir()
+	d, err := db.Open(db.Config{Dir: dir, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	var sb strings.Builder
+	if err := dumpPagedDir(&sb, dir); err == nil || !strings.Contains(err.Error(), "logical") {
+		t.Fatalf("dumpPagedDir on logical dir: %v", err)
+	}
+}

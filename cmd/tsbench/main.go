@@ -1,8 +1,10 @@
-// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E11)
+// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E13)
 // and prints their tables: the measurement plan stated in §3.2/§5 of
 // Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, the
-// concurrent sharded-engine scaling run (E10), and the group-commit
-// fsync-amortization run (E11, durable mode in a temp directory).
+// concurrent sharded-engine scaling run (E10), the group-commit
+// fsync-amortization run (E11, durable mode in a temp directory), the
+// WORM burn-rate run (E12), and the paged checkpoint-duration run (E13,
+// paged durable mode in a temp directory).
 //
 // Usage:
 //
@@ -10,9 +12,10 @@
 //	        [-shards 1,2,4,8] [-workers N] [-benchjson FILE]
 //
 // -benchjson writes the E10 throughput points as JSON — plus the cursor
-// page-read, put-latency, and group-commit trajectory points — so CI can
-// archive a perf trajectory across commits covering writes, reads, and
-// durability.
+// page-read, put-latency, group-commit, worm-burn-rate, and
+// checkpoint-duration trajectory points — so CI can archive a perf
+// trajectory across commits covering writes, reads, durability, and
+// checkpoint cost.
 package main
 
 import (
@@ -59,7 +62,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 11; i++ {
+		for i := 1; i <= 13; i++ {
 			want[fmt.Sprintf("E%d", i)] = true
 		}
 	} else {
@@ -171,13 +174,50 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 			RecordsPerSync: gc.RecordsPerSync,
 		}
 	}
+	// Like the group-commit point: one E12/E13 run serves both the
+	// printed table and the archived trajectory point.
+	var burnPoint, ckptPoint *benchPoint
+	if want["E12"] || archive {
+		burnOps := min(p.Ops, 5000)
+		burn, tab, err := experiments.WormBurnRate(burnOps)
+		if err != nil {
+			return err
+		}
+		if want["E12"] {
+			fmt.Println(tab)
+		}
+		burnPoint = &benchPoint{
+			Experiment: "worm-burn-rate", Shards: 1, Ops: burn.Ops,
+			BurnedBytesPerOp: burn.BurnedPerOp, WormUtilization: burn.Utilization,
+		}
+	}
+	if want["E13"] || archive {
+		dir, err := os.MkdirTemp("", "tsbench-e13-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		large := min(max(p.Ops, 2000), 20_000)
+		rows, tab, err := experiments.CheckpointDuration(dir, []int{large / 4, large}, 16)
+		if err != nil {
+			return err
+		}
+		if want["E13"] {
+			fmt.Println(tab)
+		}
+		ckpt := rows[len(rows)-1]
+		ckptPoint = &benchPoint{
+			Experiment: "checkpoint-duration", Shards: 2, Ops: uint64(ckpt.Versions),
+			CheckpointMillis: ckpt.Millis, FlushedPages: uint64(ckpt.DirtyFlushed),
+		}
+	}
 	if archive {
 		extra, err := trajectoryPoints(p)
 		if err != nil {
 			return err
 		}
 		points := append(e10, extra...)
-		points = append(points, *gcPoint)
+		points = append(points, *burnPoint, *ckptPoint, *gcPoint)
 		if err := writeBenchJSON(benchJSON, points); err != nil {
 			return err
 		}
@@ -190,7 +230,8 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 // the E10 throughput curve: cursor page reads (the streaming-read
 // headline) and a single-shard put-latency baseline — so the perf
 // trajectory covers reads and latency, not just write throughput. (The
-// group-commit durability point is measured once in run and appended
+// group-commit, worm-burn-rate, and checkpoint-duration points are each
+// measured once in run — serving the printed table too — and appended
 // there.)
 func trajectoryPoints(p experiments.Params) ([]benchPoint, error) {
 	reads, err := experiments.CursorPageReads(20_000, 50)
@@ -227,6 +268,15 @@ type benchPoint struct {
 	AvgPutMicros float64 `json:"avg_put_us,omitempty"`
 	// RecordsPerSync is commit records per fsync (group-commit points).
 	RecordsPerSync float64 `json:"records_per_sync,omitempty"`
+	// BurnedBytesPerOp is write-once capacity consumed per commit and
+	// WormUtilization its payload fraction (worm-burn-rate points).
+	BurnedBytesPerOp float64 `json:"burned_b_per_op,omitempty"`
+	WormUtilization  float64 `json:"worm_utilization,omitempty"`
+	// CheckpointMillis is the duration of a paged checkpoint after a
+	// fixed small dirty set, FlushedPages how many pages it wrote
+	// (checkpoint-duration points): O(dirty), not O(database).
+	CheckpointMillis float64 `json:"checkpoint_ms,omitempty"`
+	FlushedPages     uint64  `json:"flushed_pages,omitempty"`
 }
 
 // e10Points converts the E10 results to archive records.

@@ -42,9 +42,10 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &points); err != nil {
 		t.Fatalf("bench json: %v\n%s", err, data)
 	}
-	// Two E10 curve points plus the three trajectory points (cursor page
-	// reads, put latency, group commit).
-	if len(points) != 5 {
+	// Two E10 curve points plus the five trajectory points (cursor page
+	// reads, put latency, worm burn rate, checkpoint duration, group
+	// commit).
+	if len(points) != 7 {
 		t.Fatalf("got %d bench points: %+v", len(points), points)
 	}
 	if points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
@@ -62,6 +63,12 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	}
 	if p := byExp["group-commit"]; p.RecordsPerSync <= 0 || p.OpsPerSec <= 0 {
 		t.Errorf("group-commit point = %+v", p)
+	}
+	if p := byExp["worm-burn-rate"]; p.WormUtilization <= 0 {
+		t.Errorf("worm-burn-rate point = %+v", p)
+	}
+	if p := byExp["checkpoint-duration"]; p.CheckpointMillis <= 0 || p.FlushedPages == 0 {
+		t.Errorf("checkpoint-duration point = %+v", p)
 	}
 }
 

@@ -7,8 +7,13 @@
 //   - internal/core: the TSB-tree itself (the paper's contribution);
 //   - internal/wobt: Easton's Write-Once B-tree, the §2 baseline;
 //   - internal/bplus: a single-version B+-tree comparator;
-//   - internal/storage: simulated magnetic and write-once devices;
-//   - internal/buffer, internal/record: substrates (the record package
+//   - internal/storage: simulated magnetic and write-once devices (and
+//     the device contracts both backends satisfy);
+//   - internal/pagestore: the file-backed devices of the paged durable
+//     mode — a CRC-framed mutable page file with a rollback journal,
+//     and an append-only burn file with torn-tail detection;
+//   - internal/buffer, internal/record: substrates (the buffer pool
+//     doubles as the paged mode's dirty-page table; the record package
 //     also defines the shard-boundary key codec);
 //   - internal/txn, internal/secondary, internal/db: the §4/§3.6
 //     transaction and secondary-index layers and the engine facade;
@@ -35,9 +40,15 @@
 // commits-per-fsync amortization). Crash recovery reloads the latest
 // checkpoint and replays the log tail, stopping at the first torn frame;
 // background incremental checkpoints truncate the log without stopping
-// writers. See the internal/db package documentation for the exact
-// durability contract, and `tsbdump -waldir DIR` to inspect a durable
-// directory.
+// writers. With db.Config.PagedDevices the two storage devices are
+// themselves disk files (internal/pagestore) — the paper's magnetic/WORM
+// hierarchy made real — and a checkpoint flushes dirty pages through a
+// rollback journal instead of dumping the database: O(dirty pages)
+// checkpoints (BenchmarkPagedCheckpoint), metadata-only recovery, torn
+// flushes restored from the journal, torn WORM tails clipped on reopen.
+// See the internal/db package documentation for the exact durability
+// contract, and `tsbdump -waldir DIR` / `tsbdump -pagedir DIR` to
+// inspect a durable directory.
 //
 // Range reads stream: db.Cursor / txn.ReadTxn.Cursor (and the iter.Seq2
 // form, Range) yield a snapshot lazily, page by page, with

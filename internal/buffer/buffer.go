@@ -1,28 +1,59 @@
-// Package buffer provides an LRU page cache layered over a
+// Package buffer provides the page cache layered over a
 // storage.PageStore. The trees in this repository perform page-granular
-// reads and writes; placing a Pool between a tree and its MagneticDisk
-// turns repeated traversals of hot index pages into memory hits, exactly
-// the role a database buffer manager plays over a real drive.
+// reads and writes; placing a Pool between a tree and its magnetic
+// device turns repeated traversals of hot index pages into memory hits,
+// exactly the role a database buffer manager plays over a real drive.
 //
-// The pool is a write-through cache: Write updates both the cache and the
-// underlying device, so the device always holds the durable image and the
-// device-level space accounting stays exact. Read hits avoid device I/O
-// (and therefore simulated seek latency), which is what experiment E5
-// measures.
+// The pool runs in one of two modes:
+//
+//   - Write-through (NewPool): Write updates both the cache and the
+//     underlying device, so the device always holds the durable image
+//     and the device-level space accounting stays exact. This is the
+//     mode of the simulated devices (experiment E5 measures its hit
+//     economics).
+//
+//   - Writeback (NewWritebackPool): Write updates only the cache and
+//     marks the page dirty in the dirty-page table; the device is
+//     written only when a checkpoint flushes. The pool is strictly
+//     no-steal — a dirty page is never evicted and never reaches the
+//     device outside a flush — which is what lets the paged durable
+//     mode keep its on-disk page file reconstructible to the last
+//     checkpoint boundary (internal/pagestore). When every frame over
+//     capacity is dirty or pinned, the pool grows past capacity rather
+//     than violate no-steal (Stats.Overflows counts this; the
+//     checkpoint cadence bounds it).
+//
+// Writes can be tagged with a flush group (Tagged) — the paged engine
+// tags each shard's tree and the secondary indexes — so a checkpoint
+// can pre-flush shard by shard (CaptureDirty with a tag) before its
+// final boundary capture. Pin/Unpin protect hot pages from eviction.
 package buffer
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"repro/internal/storage"
 )
 
-// Stats is a snapshot of cache effectiveness counters.
+// NoTag is the flush group of untagged writes.
+const NoTag = -1
+
+// Stats is a snapshot of cache effectiveness and dirty-table counters.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// DirtyPages is the current size of the dirty-page table
+	// (writeback mode only).
+	DirtyPages int
+	// FlushedPages counts dirty pages written back to the device by
+	// flush captures.
+	FlushedPages uint64
+	// Overflows counts frames the pool kept past capacity because
+	// every eviction candidate was dirty or pinned.
+	Overflows uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 when no reads occurred.
@@ -35,31 +66,51 @@ func (s Stats) HitRate() float64 {
 }
 
 type frame struct {
-	page uint64
-	data []byte
+	page  uint64
+	data  []byte
+	dirty bool
+	epoch uint64 // bumped on every write; lets a flush detect re-dirtying
+	tag   int
+	pins  int
 }
 
-// Pool is an LRU write-through page cache. It implements
-// storage.PageStore and is safe for concurrent use.
+// Pool is an LRU page cache implementing storage.PageStore. It is safe
+// for concurrent use.
 type Pool struct {
-	mu    sync.Mutex
-	dev   storage.PageStore
-	cap   int
-	lru   *list.List // front = most recently used
-	byPg  map[uint64]*list.Element
-	stats Stats
+	mu        sync.Mutex
+	dev       storage.PageStore
+	cap       int
+	writeback bool
+	lru       *list.List // front = most recently used
+	byPg      map[uint64]*list.Element
+	epoch     uint64
+	nDirty    int
+	stats     Stats
 }
 
-// NewPool returns a pool caching up to capacity pages of dev.
+// NewPool returns a write-through pool caching up to capacity pages of
+// dev.
 func NewPool(dev storage.PageStore, capacity int) *Pool {
+	return newPool(dev, capacity, false)
+}
+
+// NewWritebackPool returns a writeback (no-steal) pool over dev: writes
+// buffer in the dirty-page table until a flush capture writes them
+// back. See the package documentation.
+func NewWritebackPool(dev storage.PageStore, capacity int) *Pool {
+	return newPool(dev, capacity, true)
+}
+
+func newPool(dev storage.PageStore, capacity int, writeback bool) *Pool {
 	if capacity <= 0 {
 		panic("buffer: capacity must be positive")
 	}
 	return &Pool{
-		dev:  dev,
-		cap:  capacity,
-		lru:  list.New(),
-		byPg: make(map[uint64]*list.Element),
+		dev:       dev,
+		cap:       capacity,
+		writeback: writeback,
+		lru:       list.New(),
+		byPg:      make(map[uint64]*list.Element),
 	}
 }
 
@@ -69,19 +120,55 @@ func (p *Pool) PageSize() int { return p.dev.PageSize() }
 // Alloc allocates a page on the underlying device.
 func (p *Pool) Alloc() (uint64, error) { return p.dev.Alloc() }
 
-func (p *Pool) insert(page uint64, data []byte) {
+// insert upserts a frame and evicts if over capacity. Called under mu.
+func (p *Pool) insert(page uint64, data []byte, dirty bool, tag int) *frame {
 	if el, ok := p.byPg[page]; ok {
-		el.Value.(*frame).data = data
+		fr := el.Value.(*frame)
+		fr.data = data
+		if dirty && !fr.dirty {
+			p.nDirty++
+		}
+		if dirty {
+			fr.dirty = true
+			fr.tag = tag
+			p.epoch++
+			fr.epoch = p.epoch
+		}
 		p.lru.MoveToFront(el)
-		return
+		return fr
 	}
-	if p.lru.Len() >= p.cap {
-		back := p.lru.Back()
-		p.lru.Remove(back)
-		delete(p.byPg, back.Value.(*frame).page)
-		p.stats.Evictions++
+	p.evictSome(p.cap - 1)
+	fr := &frame{page: page, data: data, dirty: dirty, tag: tag}
+	if dirty {
+		p.nDirty++
+		p.epoch++
+		fr.epoch = p.epoch
 	}
-	p.byPg[page] = p.lru.PushFront(&frame{page: page, data: data})
+	p.byPg[page] = p.lru.PushFront(fr)
+	return fr
+}
+
+// evictSome drops least-recently-used clean, unpinned frames until at
+// most n remain, examining a bounded number of candidates so a mostly-
+// dirty pool costs O(1) per insert, not a full LRU walk: if the
+// candidates are all dirty or pinned, the pool grows past capacity
+// (no-steal) and Stats.Overflows records it. MarkClean trims back.
+func (p *Pool) evictSome(n int) {
+	const scanLimit = 8
+	el := p.lru.Back()
+	for scanned := 0; p.lru.Len() > n && el != nil && scanned < scanLimit; scanned++ {
+		prev := el.Prev()
+		fr := el.Value.(*frame)
+		if !fr.dirty && fr.pins == 0 {
+			p.lru.Remove(el)
+			delete(p.byPg, fr.page)
+			p.stats.Evictions++
+		}
+		el = prev
+	}
+	if p.lru.Len() > n {
+		p.stats.Overflows++
+	}
 }
 
 // Read returns the page contents, from cache when possible.
@@ -103,40 +190,207 @@ func (p *Pool) Read(page uint64) ([]byte, error) {
 	}
 	cached := make([]byte, len(data))
 	copy(cached, data)
-	p.insert(page, cached)
+	p.insert(page, cached, false, NoTag)
 	return data, nil
 }
 
-// Write stores the page contents through to the device and refreshes the
-// cached copy.
-func (p *Pool) Write(page uint64, data []byte) error {
+// Write stores the page contents: through to the device in
+// write-through mode, into the dirty-page table in writeback mode.
+func (p *Pool) Write(page uint64, data []byte) error { return p.write(page, data, NoTag) }
+
+func (p *Pool) write(page uint64, data []byte, tag int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if err := p.dev.Write(page, data); err != nil {
-		return err
+	if !p.writeback {
+		if err := p.dev.Write(page, data); err != nil {
+			return err
+		}
+	} else if len(data) > p.dev.PageSize() {
+		return fmt.Errorf("%w: %d > page size %d", storage.ErrTooLarge, len(data), p.dev.PageSize())
 	}
 	cached := make([]byte, len(data))
 	copy(cached, data)
-	p.insert(page, cached)
+	p.insert(page, cached, p.writeback, tag)
 	return nil
 }
 
-// Free drops any cached copy and releases the page on the device.
+// Free drops any cached copy (even a dirty one: a freed page's contents
+// are dead) and releases the page on the device.
 func (p *Pool) Free(page uint64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if el, ok := p.byPg[page]; ok {
+		if el.Value.(*frame).dirty {
+			p.nDirty--
+		}
 		p.lru.Remove(el)
 		delete(p.byPg, page)
 	}
 	return p.dev.Free(page)
 }
 
+// Pin loads page into the cache (if absent) and protects it from
+// eviction until a matching Unpin.
+func (p *Pool) Pin(page uint64) error {
+	p.mu.Lock()
+	if el, ok := p.byPg[page]; ok {
+		el.Value.(*frame).pins++
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	if _, err := p.Read(page); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.byPg[page]
+	if !ok {
+		// The read's insert was immediately evicted: capacity 1 corner.
+		data, err := p.dev.Read(page)
+		if err != nil {
+			return err
+		}
+		fr := p.insert(page, data, false, NoTag)
+		fr.pins++
+		return nil
+	}
+	el.Value.(*frame).pins++
+	return nil
+}
+
+// Unpin releases one pin on page.
+func (p *Pool) Unpin(page uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byPg[page]; ok {
+		if fr := el.Value.(*frame); fr.pins > 0 {
+			fr.pins--
+		}
+	}
+}
+
+// Tagged returns a view of the pool whose writes carry the given flush
+// group — the handle each shard's tree (and the secondary indexes) gets
+// in the paged durable mode, so a checkpoint can pre-flush shard by
+// shard. Reads, allocation, and freeing are the shared pool's.
+func (p *Pool) Tagged(tag int) storage.PageStore { return &taggedView{p: p, tag: tag} }
+
+type taggedView struct {
+	p   *Pool
+	tag int
+}
+
+func (v *taggedView) PageSize() int                     { return v.p.PageSize() }
+func (v *taggedView) Alloc() (uint64, error)            { return v.p.Alloc() }
+func (v *taggedView) Read(page uint64) ([]byte, error)  { return v.p.Read(page) }
+func (v *taggedView) Free(page uint64) error            { return v.p.Free(page) }
+func (v *taggedView) Write(page uint64, b []byte) error { return v.p.write(page, b, v.tag) }
+
+// DirtyPage is one captured entry of the dirty-page table: the page,
+// a copy of its contents, and the write epoch the copy was taken at.
+type DirtyPage struct {
+	Page  uint64
+	Data  []byte
+	Epoch uint64
+}
+
+// CaptureDirty copies the dirty pages of one flush group (NoTag < 0 or
+// any negative tag captures every group) out of the table: a
+// memory-only snapshot the caller then writes to the device. It holds
+// the pool latch only for the copy, never for I/O.
+func (p *Pool) CaptureDirty(tag int) []DirtyPage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nDirty == 0 {
+		return nil
+	}
+	var out []DirtyPage
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if !fr.dirty || (tag >= 0 && fr.tag != tag) {
+			continue
+		}
+		out = append(out, captureFrame(fr))
+	}
+	return out
+}
+
+// CaptureDirtyGroups captures every flush group's dirty pages in a
+// single walk of the pool, keyed by tag — what a checkpoint's
+// group-by-group pre-flush uses, so the scan cost is one O(pool) pass
+// regardless of the group count, not one pass per group.
+func (p *Pool) CaptureDirtyGroups() map[int][]DirtyPage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nDirty == 0 {
+		return nil
+	}
+	out := make(map[int][]DirtyPage)
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if !fr.dirty {
+			continue
+		}
+		out[fr.tag] = append(out[fr.tag], captureFrame(fr))
+	}
+	return out
+}
+
+func captureFrame(fr *frame) DirtyPage {
+	data := make([]byte, len(fr.data))
+	copy(data, fr.data)
+	return DirtyPage{Page: fr.page, Data: data, Epoch: fr.epoch}
+}
+
+// MarkClean retires captured pages from the dirty-page table once their
+// contents are on the device — unless a write landed after the capture
+// (the epoch moved), in which case the page stays dirty for the next
+// flush.
+func (p *Pool) MarkClean(pages []DirtyPage) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, cp := range pages {
+		el, ok := p.byPg[cp.Page]
+		if !ok {
+			continue
+		}
+		fr := el.Value.(*frame)
+		if fr.dirty && fr.epoch == cp.Epoch {
+			fr.dirty = false
+			p.nDirty--
+			p.stats.FlushedPages++
+		}
+	}
+	// Cleaning may have created eviction candidates for an over-full
+	// pool; trim back to capacity (a full walk, but once per flush).
+	el := p.lru.Back()
+	for p.lru.Len() > p.cap && el != nil {
+		prev := el.Prev()
+		fr := el.Value.(*frame)
+		if !fr.dirty && fr.pins == 0 {
+			p.lru.Remove(el)
+			delete(p.byPg, fr.page)
+			p.stats.Evictions++
+		}
+		el = prev
+	}
+}
+
+// DirtyCount returns the current size of the dirty-page table.
+func (p *Pool) DirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nDirty
+}
+
 // Stats returns a snapshot of the cache counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	st := p.stats
+	st.DirtyPages = p.nDirty
+	return st
 }
 
 var _ storage.PageStore = (*Pool)(nil)

@@ -19,11 +19,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/record"
 	"repro/internal/storage"
 )
+
+// ErrNoPending is returned by AbortKey when the transaction has no
+// pending version of the key: already erased, or never inserted.
+var ErrNoPending = errors.New("core: no pending version")
 
 // SplitTimeChoice selects the time value used for a data-node time split.
 // The WOBT is forced to split at the current time; the TSB-tree may choose
@@ -208,7 +213,7 @@ func (s Stats) Merge(o Stats) Stats {
 // the tree structure itself is protected above this package).
 type Tree struct {
 	mag    storage.PageStore
-	worm   *storage.WORMDisk
+	worm   storage.WORMDevice
 	cfg    Config
 	policy Policy
 
@@ -220,7 +225,7 @@ type Tree struct {
 }
 
 // New creates an empty TSB-tree with a single empty leaf as root.
-func New(mag storage.PageStore, worm *storage.WORMDisk, cfg Config) (*Tree, error) {
+func New(mag storage.PageStore, worm storage.WORMDevice, cfg Config) (*Tree, error) {
 	c := cfg.withDefaults(mag.PageSize())
 	t := &Tree{
 		mag:    mag,

@@ -44,7 +44,7 @@ func (t *Tree) Image() TreeImage {
 
 // FromImage reattaches a tree to its devices. The devices must hold the
 // state they held when the image was taken.
-func FromImage(mag storage.PageStore, worm *storage.WORMDisk, img TreeImage) (*Tree, error) {
+func FromImage(mag storage.PageStore, worm storage.WORMDevice, img TreeImage) (*Tree, error) {
 	t := &Tree{
 		mag:  mag,
 		worm: worm,

@@ -171,7 +171,7 @@ func (t *Tree) CommitKey(k record.Key, txnID uint64, commitTime record.Timestamp
 			return nil
 		}
 	}
-	return fmt.Errorf("core: no pending version of key %s for transaction %d", k, txnID)
+	return fmt.Errorf("%w: key %s, transaction %d", ErrNoPending, k, txnID)
 }
 
 // AbortKey erases the pending version of key k written by transaction
@@ -188,5 +188,5 @@ func (t *Tree) AbortKey(k record.Key, txnID uint64) error {
 			return t.writeCurrent(n)
 		}
 	}
-	return fmt.Errorf("core: no pending version of key %s for transaction %d", k, txnID)
+	return fmt.Errorf("%w: key %s, transaction %d", ErrNoPending, k, txnID)
 }

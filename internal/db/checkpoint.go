@@ -51,10 +51,15 @@ func (d *DB) SaveTo(w io.Writer) error {
 	if n := d.tm.ActiveUpdaters(); n > 0 {
 		return fmt.Errorf("%w: %d in flight", ErrActiveTransactions, n)
 	}
+	mag, magOK := d.mag.(*storage.MagneticDisk)
+	worm, wormOK := d.worm.(*storage.WORMDisk)
+	if !magOK || !wormOK {
+		return fmt.Errorf("db: SaveTo images simulated devices only; a paged database's durable state is its directory (checkpoint + device files)")
+	}
 	cp := checkpoint{
 		FormatVersion: checkpointVersion,
-		Magnetic:      d.mag.Image(),
-		WORM:          d.worm.Image(),
+		Magnetic:      mag.Image(),
+		WORM:          worm.Image(),
 		Shards:        make([]core.TreeImage, 0, len(d.store.shards)),
 		Secondaries:   make(map[string]core.TreeImage),
 		Clock:         d.tm.Now(),

@@ -59,9 +59,43 @@
 //     boundary-exact, so reload + log-tail replay applies every commit
 //     exactly once, in global commit-time order.
 //
-// SaveTo/LoadFrom remain as the quiescent whole-image alternative; they
-// refuse to run with updating transactions in flight
-// (ErrActiveTransactions).
+// # Paged durability
+//
+// With Config.PagedDevices additionally set, the devices themselves are
+// disk files in Dir (internal/pagestore): a mutable page file with a
+// per-page CRC for the magnetic disk, an append-only burn file of
+// CRC-guarded sectors for the WORM. The durability contract is the same
+// — committed = logged + fsynced, recovery loses nothing acknowledged —
+// but the checkpoint changes shape:
+//
+//   - What a checkpoint flushes: the buffer pool runs writeback with a
+//     dirty-page table (strictly no-steal — a dirty page is never
+//     evicted, never written outside a checkpoint), and a checkpoint
+//     writes exactly the dirty pages — O(dirty), not O(database) —
+//     through a rollback journal (old contents fsynced before any slot
+//     is overwritten), then fsyncs both device files, then installs a
+//     metadata-only checkpoint: tree roots, page allocator, WORM burned
+//     boundary, and the page-consistent WAL boundary. The flush
+//     pre-runs shard by shard with commits flowing; only the boundary
+//     capture itself (memory copies, no I/O) briefly holds the commit
+//     token plus the shard latches.
+//
+//   - What recovery trusts: page CRCs (verified on every read), the
+//     rollback journal (a torn flush restores the previous boundary
+//     image before anything reads it), the burn file up to the
+//     checkpointed boundary (fsynced), and the WAL tail. The unsynced
+//     WORM tail is verified sector by sector and clipped at the first
+//     torn frame; intact orphan burns stay as dead waste, as they would
+//     on real write-once media. Pending versions of transactions in
+//     flight at the boundary are erased from the image (the checkpoint
+//     records their write locks), then the WAL tail replays — so
+//     recovery reads the checkpoint metadata plus O(log tail), never
+//     the whole database.
+//
+// SaveTo/LoadFrom remain as the quiescent whole-image alternative for
+// simulated devices; they refuse to run with updating transactions in
+// flight (ErrActiveTransactions) and refuse paged databases (whose
+// durable state is the directory itself).
 //
 // # Streaming reads
 //
@@ -113,6 +147,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/pagestore"
 	"repro/internal/record"
 	"repro/internal/secondary"
 	"repro/internal/storage"
@@ -159,6 +194,18 @@ type Config struct {
 	// is fsynced — group commit batches concurrent committers into one
 	// fsync. See the package documentation's durability contract.
 	Dir string
+	// PagedDevices selects the paged durable mode (requires Dir): the
+	// magnetic and WORM devices are disk files in Dir
+	// (internal/pagestore) instead of in-memory simulations, the buffer
+	// pool runs writeback with a dirty-page table, and a checkpoint
+	// flushes dirty pages — O(dirty), not O(database) — then records a
+	// page-consistent boundary. Recovery reopens the device files
+	// (restoring any torn flush from the rollback journal and clipping
+	// the torn WORM tail) and replays only the WAL tail. A directory is
+	// paged or logical at creation, forever: reopening with the wrong
+	// mode fails. Incompatible with BufferPages = NoCachePages (the
+	// dirty-page table IS the pool).
+	PagedDevices bool
 	// CheckpointBytes triggers a background incremental checkpoint
 	// (which truncates the log) once the WAL has grown by this many
 	// bytes since the last one. 0 selects the 4 MiB default; negative
@@ -175,6 +222,10 @@ type Config struct {
 	// logWrap wraps every log and checkpoint file the durable mode
 	// opens; crash tests inject torn-write faults through it.
 	logWrap func(storage.LogFile) storage.LogFile
+	// blockWrap wraps the paged mode's device files (page file, burn
+	// file, rollback journal); crash tests inject torn positioned
+	// writes through it.
+	blockWrap func(storage.BlockFile) storage.BlockFile
 }
 
 // NoCachePages is the Config.BufferPages value that disables the page
@@ -195,11 +246,20 @@ type secondaryIndex struct {
 // concurrent use; see the package documentation for what is latched and
 // what is wait-free.
 type DB struct {
-	mag   *storage.MagneticDisk
+	mag   storage.PageDevice
 	pool  *buffer.Pool
-	worm  *storage.WORMDisk
+	worm  storage.WORMDevice
 	store *shardedStore
 	tm    *txn.Manager
+
+	// Paged-mode devices (nil otherwise): the same objects as mag/worm,
+	// concretely typed for the checkpoint flush protocol.
+	pf *pagestore.PageFile
+	bf *pagestore.BurnFile
+	// epoch is the installed paged-checkpoint epoch; secTag the flush
+	// group of the secondary indexes (shard i uses group i).
+	epoch  uint64
+	secTag int
 
 	// secMu latches the secondary indexes: write-held while commit
 	// posting applies index maintenance, read-held by lookups.
@@ -245,6 +305,14 @@ func (cfg *Config) withDefaults() error {
 	}
 	if (cfg.Policy == core.Policy{}) {
 		cfg.Policy = core.PolicyLastUpdate
+	}
+	if cfg.PagedDevices {
+		if cfg.Dir == "" {
+			return fmt.Errorf("db: PagedDevices requires Dir")
+		}
+		if cfg.BufferPages == NoCachePages {
+			return fmt.Errorf("db: PagedDevices requires the buffer pool (BufferPages must not be NoCachePages)")
+		}
 	}
 	return nil
 }
@@ -331,6 +399,16 @@ func (d *DB) pages() storage.PageStore {
 	return d.mag
 }
 
+// secondaryPages returns the page store a secondary index's tree writes
+// through: in paged mode the pool view tagged with the secondary flush
+// group, so checkpoints can pre-flush the indexes as their own batch.
+func (d *DB) secondaryPages() storage.PageStore {
+	if d.pf != nil {
+		return d.pool.Tagged(d.secTag)
+	}
+	return d.pages()
+}
+
 // CreateSecondary registers a secondary index maintained from commit time
 // onward. It must be called before any data is written. On a durable
 // database the registration is sealed into a fresh checkpoint
@@ -345,7 +423,7 @@ func (d *DB) CreateSecondary(name string, extract SecondaryExtract) error {
 		d.secMu.Unlock()
 		return fmt.Errorf("db: secondary index %q already exists", name)
 	}
-	ix, err := secondary.New(name, d.pages(), d.worm, core.Config{Policy: d.policy})
+	ix, err := secondary.New(name, d.secondaryPages(), d.worm, core.Config{Policy: d.policy})
 	if err != nil {
 		d.secMu.Unlock()
 		return err
@@ -579,6 +657,35 @@ func (d *DB) FetchBySecondary(name string, skey record.Key, at record.Timestamp)
 	return c.Collect()
 }
 
+// DeviceStats is the two-tier storage accounting of the paper's cost
+// function CS = SpaceM·CM + SpaceO·CO, derived from the device counters
+// for both the simulated and the file-backed (paged) devices.
+type DeviceStats struct {
+	// Paged reports whether the devices are disk files
+	// (Config.PagedDevices) rather than in-memory simulations.
+	Paged bool
+	// SpaceM is the magnetic space consumed in bytes (pages in use ×
+	// page size) — the erasable current database plus index.
+	SpaceM uint64
+	// SpaceO is the optical capacity consumed in bytes (sectors burned
+	// × sector size); BurnedBytes is its alias in the paper's
+	// burned-vs-payload framing.
+	SpaceO uint64
+	// PayloadBytes of SpaceO hold real data; WastedBytes is the burned
+	// remainder (partial sectors, orphaned post-crash burns).
+	PayloadBytes uint64
+	WastedBytes  uint64
+	// Utilization is PayloadBytes / SpaceO (1 when nothing is burned).
+	Utilization float64
+	// DirtyPages is the current size of the buffer pool's dirty-page
+	// table — the pages the next checkpoint will flush. Always 0
+	// outside the paged mode (the pool writes through).
+	DirtyPages int
+}
+
+// BurnedBytes returns SpaceO: the total write-once capacity consumed.
+func (s DeviceStats) BurnedBytes() uint64 { return s.SpaceO }
+
 // Stats aggregates the accounting of every component.
 type Stats struct {
 	// Tree sums the structural counters over all shard trees.
@@ -587,6 +694,10 @@ type Stats struct {
 	Magnetic storage.MagneticStats
 	WORM     storage.WORMStats
 	Buffer   buffer.Stats
+	// Device condenses Magnetic/WORM/Buffer into the paper's space
+	// accounting: SpaceM, SpaceO, burned vs. payload, and the
+	// dirty-page count the next paged checkpoint will flush.
+	Device DeviceStats
 	// WAL is the write-ahead log accounting (zero for in-memory
 	// databases). Txn.Committed / WAL.Syncs is the group-commit fsync
 	// amortization.
@@ -609,6 +720,15 @@ func (d *DB) Stats() Stats {
 	}
 	if d.pool != nil {
 		st.Buffer = d.pool.Stats()
+	}
+	st.Device = DeviceStats{
+		Paged:        d.pf != nil,
+		SpaceM:       st.Magnetic.BytesInUse(d.mag.PageSize()),
+		SpaceO:       st.WORM.BytesBurned(d.worm.SectorSize()),
+		PayloadBytes: st.WORM.PayloadBytes,
+		WastedBytes:  st.WORM.WastedBytes,
+		Utilization:  st.WORM.Utilization(d.worm.SectorSize()),
+		DirtyPages:   st.Buffer.DirtyPages,
 	}
 	d.secMu.RLock()
 	for name, s := range d.secondaries {
@@ -648,8 +768,10 @@ func (d *DB) Tree() *core.Tree { return d.store.shards[0].tree }
 // WithShardTree, which holds the shard latch around the access.
 func (d *DB) ShardTree(i int) *core.Tree { return d.store.shards[i].tree }
 
-// Devices exposes the simulated devices for experiment accounting.
-func (d *DB) Devices() (*storage.MagneticDisk, *storage.WORMDisk) { return d.mag, d.worm }
+// Devices exposes the storage devices for experiment accounting: the
+// simulated disks of an in-memory database, or the file-backed page and
+// burn stores of a paged durable one.
+func (d *DB) Devices() (storage.PageDevice, storage.WORMDevice) { return d.mag, d.worm }
 
 // CheckInvariants verifies every shard tree (including that each key
 // routes to the shard holding it) and every secondary tree.

@@ -88,11 +88,15 @@ func openDurable(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	var log *wal.Log
+	var d *DB
 	ok := false
 	defer func() {
 		if !ok {
 			if log != nil {
 				_ = log.Close()
+			}
+			if d != nil {
+				d.closeDevices()
 			}
 			lock.Close()
 		}
@@ -102,6 +106,11 @@ func openDurable(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	if found {
+		if havePaged := info.Paged != nil; havePaged != cfg.PagedDevices {
+			mode := map[bool]string{true: "paged", false: "logical"}
+			return nil, fmt.Errorf("db: %s holds a %s-device database, config asks for %s (a directory's device mode is fixed at creation)",
+				cfg.Dir, mode[havePaged], mode[cfg.PagedDevices])
+		}
 		if cfg.Shards != 1 && cfg.Shards != info.Shards {
 			return nil, fmt.Errorf("db: %s has %d shards, config asks for %d",
 				cfg.Dir, info.Shards, cfg.Shards)
@@ -112,21 +121,30 @@ func openDurable(cfg Config) (*DB, error) {
 		}
 	}
 
-	d, err := newEmpty(cfg)
-	if err != nil {
-		return nil, err
-	}
-	d.dir = cfg.Dir
-	d.logWrap = cfg.logWrap
-	for name, extract := range cfg.Secondaries {
-		if err := d.CreateSecondary(name, extract); err != nil {
+	if cfg.PagedDevices {
+		// Paged mode: the committed database is the device files
+		// themselves; openPaged reattaches (or creates) them and builds
+		// the trees from the checkpoint's images — no version reload.
+		d, err = openPaged(cfg, info, found)
+		if err != nil {
 			return nil, err
 		}
-	}
-
-	if found {
-		if err := d.loadCheckpoint(); err != nil {
+	} else {
+		d, err = newEmpty(cfg)
+		if err != nil {
 			return nil, err
+		}
+		d.dir = cfg.Dir
+		d.logWrap = cfg.logWrap
+		for name, extract := range cfg.Secondaries {
+			if err := d.CreateSecondary(name, extract); err != nil {
+				return nil, err
+			}
+		}
+		if found {
+			if err := d.loadCheckpoint(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	lastLSN, nextSeg, err := d.replayLog(info.LSN)
@@ -342,6 +360,9 @@ func (d *DB) Checkpoint() error {
 	if d.closed {
 		return ErrClosed
 	}
+	if d.pf != nil {
+		return d.checkpointPagedLocked()
+	}
 	var boundary uint64
 	var clock record.Timestamp
 	err := d.tm.Quiesce(func() error {
@@ -430,6 +451,12 @@ func (d *DB) Close() error {
 		if err := d.wal.Close(); err != nil && cpErr == nil {
 			cpErr = err
 		}
+	}
+	if d.pf != nil {
+		// Acknowledged commits are durable in the WAL regardless; the
+		// device files hold at most the last checkpoint boundary plus
+		// burns, and reopening reconciles them. Close just releases fds.
+		d.closeDevices()
 	}
 	if d.dirLock != nil {
 		// Closing the fd releases the flock: the directory may be

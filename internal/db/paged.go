@@ -1,0 +1,308 @@
+package db
+
+// The paged durable mode: the storage devices themselves are disk files
+// (internal/pagestore), so a checkpoint flushes dirty pages instead of
+// rewriting a logical image of the whole database.
+//
+// The protocol, precisely:
+//
+//   - Between checkpoints the device files are never written, with one
+//     exception: WORM burns append immediately (write-once media has no
+//     in-place state to protect) but only become trusted once a
+//     checkpoint fsyncs them. Magnetic page writes buffer in the pool's
+//     dirty-page table (no-steal: dirty pages are never evicted), so
+//     the page file always reconstructs to the last installed
+//     checkpoint boundary.
+//
+//   - A checkpoint pre-flushes dirty pages flush-group by flush-group
+//     (one group per shard, one for the secondary indexes) without any
+//     pause, then briefly holds the commit leadership token plus every
+//     shard's read latch to rotate the WAL and capture the boundary:
+//     the remaining dirty pages (memory copies only — no I/O under the
+//     latches), every tree's image, the page allocator, the WORM
+//     burned count, and the in-flight write-lock set. The token stops
+//     commit posting; the latches stop in-flight transactions' pending
+//     inserts — together they freeze every writer of trees, pages, and
+//     burns, so the capture is page-consistent with the rotation LSN.
+//
+//   - The captured pages are flushed, both files fsynced, and the v4
+//     checkpoint metadata durably installed (tmp + fsync + rename).
+//     Every page overwritten by a flush had its old contents appended
+//     to the page file's rollback journal (and fsynced) first, so a
+//     crash anywhere in the flush restores the previous boundary image
+//     and the not-yet-truncated WAL tail still replays exactly once.
+//     After the install, the journal is retired and old segments are
+//     deleted.
+//
+//   - Recovery (openPaged) reopens the device files — replaying a
+//     matching rollback journal, verifying page CRCs as pages are read,
+//     and verifying + clipping the WORM tail past the boundary —
+//     reattaches the trees from their checkpointed images, erases the
+//     pending versions of the transactions in flight at the boundary
+//     (they died with the crash; a logical dump filters them out, a
+//     page image cannot), and replays the WAL tail past the boundary
+//     LSN. Orphaned intact burns stay as burned waste, exactly as
+//     unacknowledged burns on write-once media would.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/pagestore"
+	"repro/internal/record"
+	"repro/internal/secondary"
+	"repro/internal/wal"
+)
+
+// openPaged builds the paged-device substrate of a durable database:
+// fresh device files for a new (or pre-first-checkpoint) directory, or
+// a reattachment to the files an installed checkpoint describes. The
+// caller (openDurable) then replays the WAL tail and wires the
+// transaction manager exactly as in the logical mode.
+func openPaged(cfg Config, info wal.CheckpointInfo, found bool) (*DB, error) {
+	pagePath, burnPath := pagestore.Paths(cfg.Dir)
+	d := &DB{
+		secondaries: make(map[string]*secondaryIndex),
+		policy:      cfg.Policy,
+		bufferPages: cfg.BufferPages,
+		secTag:      cfg.Shards,
+		dir:         cfg.Dir,
+		logWrap:     cfg.logWrap,
+	}
+
+	if !found {
+		// No installed checkpoint: whatever device files exist are the
+		// remains of an open that crashed before its seal checkpoint —
+		// nothing in them was ever acknowledged. Start clean.
+		pf, err := pagestore.Create(pagestore.Config{Path: pagePath, PageSize: cfg.PageSize, Wrap: cfg.blockWrap})
+		if err != nil {
+			return nil, err
+		}
+		bf, err := pagestore.CreateBurn(pagestore.BurnConfig{Path: burnPath, SectorSize: cfg.SectorSize, Wrap: cfg.blockWrap})
+		if err != nil {
+			pf.Close()
+			return nil, err
+		}
+		d.pf, d.bf = pf, bf
+		d.mag, d.worm = pf, bf
+		d.pool = buffer.NewWritebackPool(pf, cfg.BufferPages)
+		trees := make([]*core.Tree, cfg.Shards)
+		for i := range trees {
+			tree, err := core.New(d.pool.Tagged(i), bf, core.Config{
+				Policy:        cfg.Policy,
+				MaxKeySize:    cfg.MaxKeySize,
+				MaxValueSize:  cfg.MaxValueSize,
+				LeafCapacity:  cfg.LeafCapacity,
+				IndexCapacity: cfg.IndexCapacity,
+			})
+			if err != nil {
+				d.closeDevices()
+				return nil, err
+			}
+			trees[i] = tree
+		}
+		d.store = newShardedStore(trees)
+		for name, extract := range cfg.Secondaries {
+			if err := d.CreateSecondary(name, extract); err != nil {
+				d.closeDevices()
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+
+	m := info.Paged
+	pf, err := pagestore.Open(pagestore.Config{Path: pagePath, PageSize: m.PageSize, Wrap: cfg.blockWrap},
+		m.Alloc, m.MagStats, m.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	bf, _, err := pagestore.OpenBurn(pagestore.BurnConfig{Path: burnPath, SectorSize: m.SectorSize, Wrap: cfg.blockWrap},
+		m.Burned, m.WormStats)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	d.pf, d.bf = pf, bf
+	d.mag, d.worm = pf, bf
+	d.epoch = m.Epoch
+	d.pool = buffer.NewWritebackPool(pf, cfg.BufferPages)
+	trees := make([]*core.Tree, len(m.Shards))
+	for i, img := range m.Shards {
+		tree, terr := core.FromImage(d.pool.Tagged(i), bf, img)
+		if terr != nil {
+			d.closeDevices()
+			return nil, fmt.Errorf("db: shard %d: %w", i, terr)
+		}
+		trees[i] = tree
+	}
+	d.store = newShardedStore(trees)
+	d.policy = trees[0].Policy()
+	for name, img := range m.Secondaries {
+		ix, serr := secondary.FromImage(name, d.pool.Tagged(d.secTag), bf, img)
+		if serr != nil {
+			d.closeDevices()
+			return nil, fmt.Errorf("db: secondary %q: %w", name, serr)
+		}
+		d.secondaries[name] = &secondaryIndex{index: ix, extract: cfg.Secondaries[name]}
+	}
+	// The image may contain pending versions of transactions in flight
+	// at the boundary; they died with the crash. Erase them before the
+	// WAL tail replays (a committed one re-arrives from its log frame).
+	// The lock-table snapshot is a superset of what actually reached
+	// the trees, so "nothing to abort" is fine.
+	for _, p := range m.Pending {
+		if err := d.store.AbortKey(p.Key, p.TxnID); err != nil && !errors.Is(err, core.ErrNoPending) {
+			d.closeDevices()
+			return nil, fmt.Errorf("db: erasing boundary pending version of %s: %w", p.Key, err)
+		}
+	}
+	return d, nil
+}
+
+// closeDevices releases the paged device files on a failed open.
+func (d *DB) closeDevices() {
+	if d.pf != nil {
+		_ = d.pf.Close()
+	}
+	if d.bf != nil {
+		_ = d.bf.Close()
+	}
+}
+
+// flushPages writes one captured batch of dirty pages through the page
+// file's journal protocol and retires the untouched ones from the
+// dirty-page table.
+func (d *DB) flushPages(copies []buffer.DirtyPage) error {
+	if len(copies) == 0 {
+		return nil
+	}
+	pages := make([]uint64, len(copies))
+	datas := make([][]byte, len(copies))
+	for i, cp := range copies {
+		pages[i] = cp.Page
+		datas[i] = cp.Data
+	}
+	if err := d.pf.WriteBatch(pages, datas); err != nil {
+		return err
+	}
+	d.pool.MarkClean(copies)
+	return nil
+}
+
+// checkpointPagedLocked is DB.Checkpoint for the paged mode, called
+// under cpMu. Its cost is O(dirty pages), independent of database size:
+// nothing is dumped, only the dirty-page table is flushed and a
+// metadata-only checkpoint installed.
+func (d *DB) checkpointPagedLocked() error {
+	// Fuzzy pre-flush, flush group by flush group (shards, then the
+	// secondary indexes — captured in ONE pool walk), with commits
+	// running: shrinks the set the boundary capture must copy. Pages
+	// this pass races with are simply re-captured at the boundary (the
+	// write epoch moved, so they stay dirty).
+	groups := d.pool.CaptureDirtyGroups()
+	for tag := 0; tag <= d.secTag; tag++ {
+		if err := d.flushPages(groups[tag]); err != nil {
+			return err
+		}
+	}
+	if err := d.flushPages(groups[buffer.NoTag]); err != nil {
+		return err
+	}
+
+	var boundary uint64
+	var clock record.Timestamp
+	var copies []buffer.DirtyPage
+	meta := wal.PagedMeta{
+		Epoch:      d.epoch + 1,
+		PageSize:   d.pf.PageSize(),
+		SectorSize: d.bf.SectorSize(),
+	}
+	err := d.tm.Quiesce(func() error {
+		// Under the leadership token no commit is mid-posting — but
+		// in-flight transactions still write pending versions into the
+		// trees under shard write latches (§4: uncommitted data lives,
+		// erasable, in the current database), and those writes alloc
+		// pages, split nodes, and burn WORM sectors. Holding every
+		// shard's read latch on top of the token freezes all of it:
+		// the capture below is page-consistent with the rotation LSN.
+		// Lock order (token, then latches) matches commit posting, so
+		// this cannot deadlock; only memory copies happen under the
+		// latches — the flush I/O runs after everything is released,
+		// and any page re-dirtied by then is detected by its write
+		// epoch and left dirty.
+		for _, sh := range d.store.shards {
+			sh.mu.RLock()
+		}
+		d.secMu.RLock()
+		defer func() {
+			d.secMu.RUnlock()
+			for _, sh := range d.store.shards {
+				sh.mu.RUnlock()
+			}
+		}()
+		lsn, err := d.wal.Rotate()
+		if err != nil {
+			return err
+		}
+		boundary = lsn
+		clock = d.tm.Now()
+		copies = d.pool.CaptureDirty(buffer.NoTag)
+		meta.Alloc = d.pf.AllocState()
+		meta.MagStats = d.pf.Stats()
+		meta.Burned = d.bf.Burned()
+		meta.WormStats = d.bf.Stats()
+		meta.Shards = make([]core.TreeImage, len(d.store.shards))
+		for i, sh := range d.store.shards {
+			meta.Shards[i] = sh.tree.Image()
+		}
+		meta.Secondaries = make(map[string]core.TreeImage)
+		for name, s := range d.secondaries {
+			meta.Secondaries[name] = s.index.Image()
+		}
+		// The flushed pages may hold these transactions' pending
+		// versions; if this boundary is ever recovered, they are dead
+		// and recovery erases them (see openPaged).
+		meta.Pending = d.tm.PendingWrites()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := d.flushPages(copies); err != nil {
+		return err
+	}
+	if err := d.pf.Sync(); err != nil {
+		return err
+	}
+	if err := d.bf.Sync(); err != nil {
+		return err
+	}
+	info := wal.CheckpointInfo{
+		Shards:      len(d.store.shards),
+		Clock:       clock,
+		LSN:         boundary,
+		Secondaries: d.secondaryNames(),
+		Paged:       &meta,
+	}
+	if err := wal.WriteCheckpoint(d.dir, d.logWrap, info, nil); err != nil {
+		return err
+	}
+	// The rename landed: the installed boundary IS meta.Epoch from here
+	// on, whatever later steps return — record it before anything can
+	// fail, or the next checkpoint would reuse the epoch.
+	d.epoch = meta.Epoch
+	// Retire the rollback journal and advance the restore point, then
+	// truncate the log.
+	if err := d.pf.CompleteFlush(meta.Epoch, meta.Alloc.Pages); err != nil {
+		return err
+	}
+	if err := d.wal.RemoveSegmentsBelow(d.wal.CurrentSegment()); err != nil {
+		return err
+	}
+	d.cpLastBytes = d.wal.Stats().Bytes
+	return nil
+}

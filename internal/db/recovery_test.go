@@ -51,6 +51,8 @@ func applyOracle(t *testing.T, cfg Config, ops []oracleOp) *DB {
 	t.Helper()
 	cfg.Dir = ""
 	cfg.logWrap = nil
+	cfg.PagedDevices = false
+	cfg.blockWrap = nil
 	o, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -230,3 +230,42 @@ func TestE10Concurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestWormBurnRate(t *testing.T) {
+	res, tab, err := WormBurnRate(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BurnedBytes == 0 || res.BurnedPerOp <= 0 {
+		t.Fatalf("no burn measured: %+v", res)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization out of range: %+v", res)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("table: %+v", tab)
+	}
+}
+
+func TestCheckpointDuration(t *testing.T) {
+	rows, tab, err := CheckpointDuration(t.TempDir(), []int{800, 3200}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(tab.Rows) != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	small, large := rows[0], rows[1]
+	if large.TotalPages <= small.TotalPages {
+		t.Fatalf("database did not grow: %+v", rows)
+	}
+	// The acceptance property: the flush after a fixed dirty set stays
+	// O(dirty) as the database quadruples — it must not track total
+	// pages (allow generous slack for boundary pages and timing noise).
+	if large.DirtyFlushed*4 > large.TotalPages {
+		t.Fatalf("checkpoint flushed %d of %d pages: not O(dirty)", large.DirtyFlushed, large.TotalPages)
+	}
+	if large.Millis <= 0 {
+		t.Fatalf("no duration measured: %+v", large)
+	}
+}

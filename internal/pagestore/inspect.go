@@ -1,0 +1,100 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// PageInfo describes one page slot of a page file, as InspectPages saw
+// it on disk — no locking, safe on a live or crashed directory.
+type PageInfo struct {
+	Page    uint64
+	Written bool // a frame is present (the slot is not a hole)
+	Len     int  // payload bytes (0 for holes)
+	CRCOK   bool // frame validates (magic, length, stamp, CRC)
+}
+
+// InspectPages walks every page slot of the page file at path.
+func InspectPages(path string, fn func(PageInfo) error) (pageSize int, pages uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	pageSize, err = readFileHeader(f, pageMagic, path)
+	if err != nil {
+		return 0, 0, err
+	}
+	frame := int64(pageFrameHeader + pageSize)
+	buf := make([]byte, frame)
+	for p := uint64(0); ; p++ {
+		n, rerr := f.ReadAt(buf, fileHeaderSize+int64(p)*frame)
+		if rerr != nil && rerr != io.EOF {
+			return 0, 0, rerr
+		}
+		if n == 0 {
+			return pageSize, p, nil
+		}
+		info := PageInfo{Page: p}
+		if n >= pageFrameHeader && binary.LittleEndian.Uint32(buf[0:4]) != 0 {
+			info.Written = true
+			info.Len = int(binary.LittleEndian.Uint32(buf[4:8]))
+			_, derr := decodePageFrame(buf[:n], p, pageSize)
+			info.CRCOK = derr == nil
+		}
+		if err := fn(info); err != nil {
+			return 0, 0, err
+		}
+	}
+}
+
+// SectorInfo describes one sector slot of a burn file.
+type SectorInfo struct {
+	Sector uint64
+	Len    int // payload bytes claimed by the frame header
+	CRCOK  bool
+}
+
+// InspectSectors walks every sector slot of the burn file at path.
+func InspectSectors(path string, fn func(SectorInfo) error) (sectorSize int, sectors uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sectorSize, err = readFileHeader(f, burnMagic, path)
+	if err != nil {
+		return 0, 0, err
+	}
+	frame := int64(burnFrameHeader + sectorSize)
+	buf := make([]byte, frame)
+	for s := uint64(0); ; s++ {
+		n, rerr := f.ReadAt(buf, fileHeaderSize+int64(s)*frame)
+		if rerr != nil && rerr != io.EOF {
+			return 0, 0, rerr
+		}
+		if n == 0 {
+			return sectorSize, s, nil
+		}
+		info := SectorInfo{Sector: s}
+		if n >= burnFrameHeader {
+			info.Len = int(binary.LittleEndian.Uint32(buf[0:4]))
+			_, info.CRCOK = decodeBurnFrame(buf[:n], sectorSize)
+			if !info.CRCOK && info.Len > sectorSize {
+				info.Len = 0
+			}
+		}
+		if err := fn(info); err != nil {
+			return 0, 0, err
+		}
+	}
+}
+
+// Paths derives the standard device file names inside a durable
+// directory: pages.dev, worm.dev (and pages.dev.journal while a
+// checkpoint flush is in progress).
+func Paths(dir string) (pagePath, burnPath string) {
+	return filepath.Join(dir, "pages.dev"), filepath.Join(dir, "worm.dev")
+}

@@ -27,7 +27,7 @@ type Index struct {
 
 // New creates a secondary index with its own TSB-tree on the given
 // devices.
-func New(name string, mag storage.PageStore, worm *storage.WORMDisk, cfg core.Config) (*Index, error) {
+func New(name string, mag storage.PageStore, worm storage.WORMDevice, cfg core.Config) (*Index, error) {
 	// Composite keys are skey + 0x00 + pkey; widen the key bound.
 	if cfg.MaxKeySize == 0 {
 		cfg.MaxKeySize = 64
@@ -47,7 +47,7 @@ func (ix *Index) Name() string { return ix.name }
 func (ix *Index) Image() core.TreeImage { return ix.tree.Image() }
 
 // FromImage reattaches a secondary index to its devices.
-func FromImage(name string, mag storage.PageStore, worm *storage.WORMDisk, img core.TreeImage) (*Index, error) {
+func FromImage(name string, mag storage.PageStore, worm storage.WORMDevice, img core.TreeImage) (*Index, error) {
 	tree, err := core.FromImage(mag, worm, img)
 	if err != nil {
 		return nil, err

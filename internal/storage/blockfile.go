@@ -1,0 +1,79 @@
+package storage
+
+import "io"
+
+// BlockFile is the random-access byte device the file-backed page and
+// burn stores (internal/pagestore) write through: positioned reads and
+// writes, truncation, an explicit durability barrier, and a close.
+// *os.File satisfies it directly; tests interpose TornBlockFile to
+// simulate crashes that tear a positioned write in half — the
+// random-access sibling of LogFile/TornLogFile.
+type BlockFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// TornBlockFile wraps a BlockFile with a shared TearPlan. Positioned
+// writes consume the plan's byte budget exactly like sequential log
+// writes do, so one plan expresses a single fault point across the whole
+// durable write stream — WAL segments, checkpoint files, the magnetic
+// page file, and the WORM burn file together. The write crossing the
+// budget persists only its prefix and fails, and every subsequent write,
+// truncate, and sync fails too; reads keep working (the simulated power
+// loss is the test reopening the files through fresh, unwrapped
+// handles).
+type TornBlockFile struct {
+	inner BlockFile
+	plan  *TearPlan
+}
+
+// NewTornBlockFile wraps inner under plan. A nil plan passes everything
+// through untouched.
+func NewTornBlockFile(inner BlockFile, plan *TearPlan) *TornBlockFile {
+	return &TornBlockFile{inner: inner, plan: plan}
+}
+
+// ReadAt always reaches the inner file: the bytes on disk are readable
+// right up to the power loss.
+func (f *TornBlockFile) ReadAt(p []byte, off int64) (int, error) {
+	return f.inner.ReadAt(p, off)
+}
+
+// WriteAt persists as much of p as the plan allows.
+func (f *TornBlockFile) WriteAt(p []byte, off int64) (int, error) {
+	allowed, err := f.plan.consume(len(p))
+	if allowed > 0 {
+		if n, werr := f.inner.WriteAt(p[:allowed], off); werr != nil {
+			return n, werr
+		}
+	}
+	if err != nil {
+		return allowed, err
+	}
+	return len(p), nil
+}
+
+// Truncate forwards to the inner file unless the device is dead.
+func (f *TornBlockFile) Truncate(size int64) error {
+	if err := f.plan.syncErr(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+// Sync forwards to the inner file unless the device is dead.
+func (f *TornBlockFile) Sync() error {
+	if err := f.plan.syncErr(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close always closes the inner file (a dead device can still be
+// abandoned).
+func (f *TornBlockFile) Close() error { return f.inner.Close() }
+
+var _ BlockFile = (*TornBlockFile)(nil)

@@ -252,3 +252,28 @@ type PageStore interface {
 }
 
 var _ PageStore = (*MagneticDisk)(nil)
+
+// PageDevice is the full magnetic-device contract: a PageStore that also
+// keeps the paper's SpaceM accounting. *MagneticDisk (the simulated
+// device) and pagestore.PageFile (the file-backed device) both satisfy
+// it.
+type PageDevice interface {
+	PageStore
+	Stats() MagneticStats
+}
+
+var _ PageDevice = (*MagneticDisk)(nil)
+
+// WORMDevice is the historical-device contract the trees build on: the
+// consolidated-append migration path of §3.4 plus the SpaceO and
+// burned-vs-payload accounting. *WORMDisk (the simulated device, which
+// additionally offers the WOBT's extent/sector interface) and
+// pagestore.BurnFile (the file-backed device) both satisfy it.
+type WORMDevice interface {
+	SectorSize() int
+	Append(data []byte) (Addr, error)
+	ReadAt(addr Addr) ([]byte, error)
+	Stats() WORMStats
+}
+
+var _ WORMDevice = (*WORMDisk)(nil)

@@ -241,6 +241,30 @@ func (m *Manager) Quiesce(fn func() error) error {
 // not yet committed or aborted.
 func (m *Manager) ActiveUpdaters() int64 { return m.activeUpdaters.Load() }
 
+// PendingWrite names one key whose pending (uncommitted) version is —
+// or is about to be — in the store, and the transaction that owns it.
+type PendingWrite struct {
+	Key   record.Key
+	TxnID uint64
+}
+
+// PendingWrites snapshots the lock table: every key currently
+// write-locked by an in-flight transaction. The paged checkpoint
+// records this set so recovery can erase the stale pending versions a
+// page-level image necessarily captures (a logical dump filters them
+// out; pages cannot). The snapshot is a superset of the pending
+// versions actually in the store — a locker may not have inserted yet —
+// so consumers must tolerate AbortKey finding nothing.
+func (m *Manager) PendingWrites() []PendingWrite {
+	m.lockMu.Lock()
+	defer m.lockMu.Unlock()
+	out := make([]PendingWrite, 0, len(m.locks))
+	for k, id := range m.locks {
+		out = append(out, PendingWrite{Key: record.Key(k).Clone(), TxnID: id})
+	}
+	return out
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
@@ -261,7 +285,7 @@ func (m *Manager) Now() record.Timestamp {
 // Txn is an updating transaction. A Txn must be used by one goroutine at
 // a time.
 type Txn struct {
-	m *Manager
+	m  *Manager
 	id uint64
 	// writes buffers the pending version last written per key: the
 	// transaction's write set, which becomes its redo CommitRecord.

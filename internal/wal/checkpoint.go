@@ -16,6 +16,13 @@ import (
 // the log was rotated at.
 const CheckpointFormatVersion = 3
 
+// PagedCheckpointFormatVersion identifies the paged checkpoint format:
+// no version chunks — the database pages live in the device files
+// (internal/pagestore), flushed before the checkpoint is installed —
+// only a PagedMeta frame reattaching the engine to them at the
+// page-consistent boundary the footer seals.
+const PagedCheckpointFormatVersion = 4
+
 const (
 	checkpointName    = "CHECKPOINT"
 	checkpointTmpName = "CHECKPOINT.tmp"
@@ -43,6 +50,11 @@ type CheckpointInfo struct {
 	// Secondaries names the secondary indexes registered when the
 	// checkpoint was taken; reopening requires an extractor per name.
 	Secondaries []string
+	// Paged is the device/tree metadata of a paged (format v4)
+	// checkpoint, nil for a logical (v3) one. A paged checkpoint has no
+	// version chunks: the committed database is the device files
+	// themselves, page-consistent at this boundary.
+	Paged *PagedMeta
 }
 
 // WriteCheckpoint durably writes a checkpoint: header, then every
@@ -76,9 +88,13 @@ func WriteCheckpoint(dir string, wrap func(storage.LogFile) storage.LogFile, inf
 		return nil
 	}
 
+	version := uint64(CheckpointFormatVersion)
+	if info.Paged != nil {
+		version = PagedCheckpointFormatVersion
+	}
 	e := record.NewEncoder(nil)
 	e.Byte(frameCheckpointHeader)
-	e.Uvarint(CheckpointFormatVersion)
+	e.Uvarint(version)
 	e.Uvarint(uint64(info.Shards))
 	e.Time(info.Clock)
 	e.Uvarint(info.LSN)
@@ -90,20 +106,29 @@ func WriteCheckpoint(dir string, wrap func(storage.LogFile) storage.LogFile, inf
 		return err
 	}
 
-	for shard := 0; shard < info.Shards; shard++ {
-		vs, derr := dump(shard)
-		if derr != nil {
-			err = fmt.Errorf("wal: checkpoint dump of shard %d: %w", shard, derr)
+	if info.Paged != nil {
+		// A paged checkpoint carries no versions: the database pages
+		// are already flushed into the device files. Only the
+		// reattachment metadata is written.
+		if err = write(encodePagedMeta(info.Paged)); err != nil {
 			return err
 		}
-		for base := 0; base < len(vs); base += checkpointChunk {
-			end := min(base+checkpointChunk, len(vs))
-			e := record.NewEncoder(nil)
-			e.Byte(frameShardChunk)
-			e.Uvarint(uint64(shard))
-			e.Versions(vs[base:end])
-			if err = write(e.Bytes()); err != nil {
+	} else {
+		for shard := 0; shard < info.Shards; shard++ {
+			vs, derr := dump(shard)
+			if derr != nil {
+				err = fmt.Errorf("wal: checkpoint dump of shard %d: %w", shard, derr)
 				return err
+			}
+			for base := 0; base < len(vs); base += checkpointChunk {
+				end := min(base+checkpointChunk, len(vs))
+				e := record.NewEncoder(nil)
+				e.Byte(frameShardChunk)
+				e.Uvarint(uint64(shard))
+				e.Versions(vs[base:end])
+				if err = write(e.Bytes()); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -142,6 +167,7 @@ func ReadCheckpoint(dir string, apply func(shard int, vs []record.Version) error
 		return CheckpointInfo{}, false, err
 	}
 	sawHeader, sawFooter := false, false
+	version := uint64(0)
 	clean, err := parseFrames(buf, func(payload []byte) error {
 		d := record.NewDecoder(payload)
 		switch typ := d.Byte(); typ {
@@ -150,8 +176,9 @@ func ReadCheckpoint(dir string, apply func(shard int, vs []record.Version) error
 				return fmt.Errorf("wal: duplicate checkpoint header")
 			}
 			sawHeader = true
-			if v := d.Uvarint(); v != CheckpointFormatVersion {
-				return fmt.Errorf("wal: checkpoint format %d, want %d", v, CheckpointFormatVersion)
+			if version = d.Uvarint(); version != CheckpointFormatVersion && version != PagedCheckpointFormatVersion {
+				return fmt.Errorf("wal: checkpoint format %d, want %d or %d",
+					version, CheckpointFormatVersion, PagedCheckpointFormatVersion)
 			}
 			info.Shards = int(d.Uvarint())
 			info.Clock = d.Time()
@@ -167,8 +194,25 @@ func ReadCheckpoint(dir string, apply func(shard int, vs []record.Version) error
 				return fmt.Errorf("wal: checkpoint header: %w", err)
 			}
 			return nil
+		case framePagedMeta:
+			if !sawHeader || sawFooter || version != PagedCheckpointFormatVersion {
+				return fmt.Errorf("wal: misplaced paged-meta frame")
+			}
+			if info.Paged != nil {
+				return fmt.Errorf("wal: duplicate paged-meta frame")
+			}
+			m, merr := decodePagedMeta(d)
+			if merr != nil {
+				return merr
+			}
+			if len(m.Shards) != info.Shards {
+				return fmt.Errorf("wal: paged meta has %d shard images, header says %d",
+					len(m.Shards), info.Shards)
+			}
+			info.Paged = m
+			return nil
 		case frameShardChunk:
-			if !sawHeader || sawFooter {
+			if !sawHeader || sawFooter || version != CheckpointFormatVersion {
 				return fmt.Errorf("wal: checkpoint chunk outside header/footer")
 			}
 			shard := int(d.Uvarint())
@@ -201,6 +245,9 @@ func ReadCheckpoint(dir string, apply func(shard int, vs []record.Version) error
 	}
 	if !clean || !sawHeader || !sawFooter {
 		return CheckpointInfo{}, false, fmt.Errorf("wal: checkpoint incomplete or corrupt")
+	}
+	if version == PagedCheckpointFormatVersion && info.Paged == nil {
+		return CheckpointInfo{}, false, fmt.Errorf("wal: paged checkpoint missing its meta frame")
 	}
 	return info, true, nil
 }

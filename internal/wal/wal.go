@@ -68,6 +68,7 @@ const (
 	frameCheckpointHeader = 2
 	frameShardChunk       = 3
 	frameCheckpointFooter = 4
+	framePagedMeta        = 5
 )
 
 const (
