@@ -615,3 +615,27 @@ func BenchmarkPagedCheckpoint(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMigrator is the background time-split migrator's acceptance
+// benchmark: the same paced update-heavy workload (8 workers, real
+// write-once burn latency) with migration inline vs background, run once
+// per iteration (E14 always measures both modes, so one run feeds all
+// four metrics). Background mode must cut put p99 and split-latch time —
+// the burn leaves the shard's write latch. The full table (p50,
+// throughput, migration counts) is `tsbench -exp E14`.
+func BenchmarkMigrator(b *testing.B) {
+	sums := map[string]float64{}
+	for n := 0; n < b.N; n++ {
+		rs, _, err := experiments.E14MigrationLatency(4, 8, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			sums[r.Mode+"-put-p99-us"] += r.PutP99Micros
+			sums[r.Mode+"-latch-ms"] += r.SplitLatchMillis
+		}
+	}
+	for name, sum := range sums {
+		b.ReportMetric(sum/float64(b.N), name)
+	}
+}

@@ -42,6 +42,8 @@ type point struct {
 	WormUtilization  float64 `json:"worm_utilization,omitempty"`
 	CheckpointMillis float64 `json:"checkpoint_ms,omitempty"`
 	FlushedPages     uint64  `json:"flushed_pages,omitempty"`
+	PutP99Micros     float64 `json:"put_p99_us,omitempty"`
+	SplitLatchMillis float64 `json:"split_latch_ms,omitempty"`
 }
 
 // key identifies a trajectory point across runs.
@@ -84,9 +86,10 @@ func load(path string) (map[key]point, error) {
 }
 
 // metric names the quantity a point is compared on, and its regression
-// direction: burned bytes per op and checkpoint milliseconds regress
-// upward (more write-once capacity consumed, slower checkpoints), like
-// page reads and put latency; throughput regresses downward.
+// direction: burned bytes per op, checkpoint milliseconds, and the
+// migration-latency put p99 regress upward (more write-once capacity
+// consumed, slower checkpoints, fatter latency tails), like page reads
+// and put latency; throughput regresses downward.
 func metric(p point) (name string, value float64, lowerIsBetter bool) {
 	switch {
 	case p.PageReads > 0:
@@ -97,6 +100,8 @@ func metric(p point) (name string, value float64, lowerIsBetter bool) {
 		return "burned-B/op", p.BurnedBytesPerOp, true
 	case p.CheckpointMillis > 0:
 		return "ckpt-ms", p.CheckpointMillis, true
+	case p.PutP99Micros > 0:
+		return "p99-us/put", p.PutP99Micros, true
 	default:
 		return "ops/sec", p.OpsPerSec, false
 	}
@@ -164,6 +169,14 @@ func compare(oldPath, newPath string) (string, error) {
 				out += fmt.Sprintf("%-28s %-12s %14.2f %14.2f %s\n",
 					label, "utilization", o.WormUtilization, n.WormUtilization,
 					deltaStr(o.WormUtilization, n.WormUtilization, false))
+			}
+			if o.SplitLatchMillis > 0 || n.SplitLatchMillis > 0 {
+				// Time splitting under shard write latches: the
+				// migrator's headline reduction; growth means burns are
+				// drifting back onto the latch-held path.
+				out += fmt.Sprintf("%-28s %-12s %14.1f %14.1f %s\n",
+					label, "latch-ms", o.SplitLatchMillis, n.SplitLatchMillis,
+					deltaStr(o.SplitLatchMillis, n.SplitLatchMillis, true))
 			}
 			if o.FlushedPages > 0 || n.FlushedPages > 0 {
 				// Pages flushed for the same fixed dirty set: growth

@@ -1,10 +1,12 @@
-// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E13)
+// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E14)
 // and prints their tables: the measurement plan stated in §3.2/§5 of
 // Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, the
 // concurrent sharded-engine scaling run (E10), the group-commit
 // fsync-amortization run (E11, durable mode in a temp directory), the
-// WORM burn-rate run (E12), and the paged checkpoint-duration run (E13,
-// paged durable mode in a temp directory).
+// WORM burn-rate run (E12), the paged checkpoint-duration run (E13,
+// paged durable mode in a temp directory), and the background-migration
+// latency run (E14, inline vs background time splits under real
+// write-once burn latency).
 //
 // Usage:
 //
@@ -12,10 +14,10 @@
 //	        [-shards 1,2,4,8] [-workers N] [-benchjson FILE]
 //
 // -benchjson writes the E10 throughput points as JSON — plus the cursor
-// page-read, put-latency, group-commit, worm-burn-rate, and
-// checkpoint-duration trajectory points — so CI can archive a perf
-// trajectory across commits covering writes, reads, durability, and
-// checkpoint cost.
+// page-read, put-latency, group-commit, worm-burn-rate,
+// checkpoint-duration, and migration-latency trajectory points — so CI
+// can archive a perf trajectory across commits covering writes, reads,
+// durability, checkpoint cost, and migration latency.
 package main
 
 import (
@@ -62,7 +64,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 13; i++ {
+		for i := 1; i <= 14; i++ {
 			want[fmt.Sprintf("E%d", i)] = true
 		}
 	} else {
@@ -211,6 +213,27 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 			CheckpointMillis: ckpt.Millis, FlushedPages: uint64(ckpt.DirtyFlushed),
 		}
 	}
+	// E14 serves the printed table and two archived points (one per
+	// migration mode; benchcmp keys on experiment name + shards).
+	var migPoints []benchPoint
+	if want["E14"] || archive {
+		migOps := min(max(p.Ops/8, 250), 2000)
+		rows, tab, err := experiments.E14MigrationLatency(4, workers, migOps)
+		if err != nil {
+			return err
+		}
+		if want["E14"] {
+			fmt.Println(tab)
+		}
+		for _, r := range rows {
+			migPoints = append(migPoints, benchPoint{
+				Experiment: "migration-latency-" + r.Mode, Shards: r.Shards,
+				Workers: r.Workers, Ops: r.Ops,
+				ElapsedSec: r.Elapsed.Seconds(), OpsPerSec: r.OpsPerSec,
+				PutP99Micros: r.PutP99Micros, SplitLatchMillis: r.SplitLatchMillis,
+			})
+		}
+	}
 	if archive {
 		extra, err := trajectoryPoints(p)
 		if err != nil {
@@ -218,6 +241,7 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 		}
 		points := append(e10, extra...)
 		points = append(points, *burnPoint, *ckptPoint, *gcPoint)
+		points = append(points, migPoints...)
 		if err := writeBenchJSON(benchJSON, points); err != nil {
 			return err
 		}
@@ -277,6 +301,11 @@ type benchPoint struct {
 	// (checkpoint-duration points): O(dirty), not O(database).
 	CheckpointMillis float64 `json:"checkpoint_ms,omitempty"`
 	FlushedPages     uint64  `json:"flushed_pages,omitempty"`
+	// PutP99Micros is the tail put latency and SplitLatchMillis the time
+	// spent splitting under shard write latches (migration-latency
+	// points, one per mode: background must beat inline on both).
+	PutP99Micros     float64 `json:"put_p99_us,omitempty"`
+	SplitLatchMillis float64 `json:"split_latch_ms,omitempty"`
 }
 
 // e10Points converts the E10 results to archive records.

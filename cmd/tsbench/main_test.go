@@ -44,8 +44,8 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	}
 	// Two E10 curve points plus the five trajectory points (cursor page
 	// reads, put latency, worm burn rate, checkpoint duration, group
-	// commit).
-	if len(points) != 7 {
+	// commit) plus the two migration-latency points (inline/background).
+	if len(points) != 9 {
 		t.Fatalf("got %d bench points: %+v", len(points), points)
 	}
 	if points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
@@ -69,6 +69,12 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	}
 	if p := byExp["checkpoint-duration"]; p.CheckpointMillis <= 0 || p.FlushedPages == 0 {
 		t.Errorf("checkpoint-duration point = %+v", p)
+	}
+	if p := byExp["migration-latency-inline"]; p.PutP99Micros <= 0 || p.SplitLatchMillis <= 0 {
+		t.Errorf("migration-latency-inline point = %+v", p)
+	}
+	if p := byExp["migration-latency-background"]; p.PutP99Micros <= 0 {
+		t.Errorf("migration-latency-background point = %+v", p)
 	}
 }
 

@@ -2,6 +2,11 @@
 // Salzberg, "Access Methods for Multiversion Data", SIGMOD 1989 — the
 // Time-Split B-tree (TSB-tree).
 //
+// docs/ARCHITECTURE.md is the orientation document: the layer map, the
+// latch hierarchy, the durability contract (logical v3 vs paged v4
+// checkpoints), and the background-migration state machine with its
+// admissible interleavings.
+//
 // The system lives in internal/ (see DESIGN.md for the inventory):
 //
 //   - internal/core: the TSB-tree itself (the paper's contribution);
@@ -21,7 +26,7 @@
 //     fsync-batched write-ahead log of commit records plus logical
 //     checkpoints;
 //   - internal/workload, internal/metrics, internal/experiments: the
-//     evaluation harness (experiments E1-E11, see EXPERIMENTS.md).
+//     evaluation harness (experiments E1-E14, see EXPERIMENTS.md).
 //
 // The engine is concurrent and sharded: db.Config.Shards partitions the
 // key space across N independent TSB-trees (key-range sharding, so range
@@ -49,6 +54,23 @@
 // See the internal/db package documentation for the exact durability
 // contract, and `tsbdump -waldir DIR` / `tsbdump -pagedir DIR` to
 // inspect a durable directory.
+//
+// Historical-node migration can leave the insert path: with
+// db.Config.BackgroundMigration an insert that would time split a leaf —
+// burning its historical half to the slow write-once device while
+// holding the shard's write latch — instead marks the leaf and returns
+// fast; a per-shard background worker captures the historical half under
+// a short read latch, burns it with no latch held, and swaps the
+// rewritten leaf in under a short write latch (mark → copying → swapped;
+// see docs/ARCHITECTURE.md for the state machine and its admissible
+// interleavings). The consistency contract: no version is ever
+// unreachable, readers see the pre- or post-swap node and never a torn
+// one, and a database drained after each operation is byte-identical to
+// an inline-split one. Experiment E14 (`tsbench -exp E14`,
+// BenchmarkMigrator) measures the payoff under real burn latency:
+// order-of-magnitude reductions in put p99 and in split-under-latch
+// time. Stats().Migrator reports queue depth, nodes migrated, bytes
+// burned, and abandoned burns.
 //
 // Range reads stream: db.Cursor / txn.ReadTxn.Cursor (and the iter.Seq2
 // form, Range) yield a snapshot lazily, page by page, with

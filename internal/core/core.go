@@ -222,17 +222,37 @@ type Tree struct {
 	stats    Stats
 	marked   map[uint64]bool // magnetic leaf pages marked for forced time split
 	entryCap int             // conservative bound on one encoded index entry
+
+	// Background-migration state (see migrate.go). deferSplits switches
+	// Insert from splitting time-split leaves inline to queueing them;
+	// pending maps a queued leaf page to its chosen split time and write
+	// epoch; newTickets buffers tickets for the owner to drain after each
+	// Insert; directed routes splitNode to a pre-burned historical node
+	// during ApplySplit. None of this state is part of TreeImage: marks
+	// are advisory and are simply re-created by future inserts.
+	deferSplits bool
+	pending     map[uint64]*pendingMark
+	newTickets  []PendingSplit
+	directed    *directedSplit
+	// migFallbacks counts queued leaves that were split inline after all
+	// (no physical headroom left); splitNanos accumulates time spent in
+	// splitChild/splitRoot — work performed under the shard write latch.
+	// Both live outside Stats so images stay byte-identical across
+	// migration modes.
+	migFallbacks uint64
+	splitNanos   uint64
 }
 
 // New creates an empty TSB-tree with a single empty leaf as root.
 func New(mag storage.PageStore, worm storage.WORMDevice, cfg Config) (*Tree, error) {
 	c := cfg.withDefaults(mag.PageSize())
 	t := &Tree{
-		mag:    mag,
-		worm:   worm,
-		cfg:    c,
-		policy: c.Policy,
-		marked: make(map[uint64]bool),
+		mag:     mag,
+		worm:    worm,
+		cfg:     c,
+		policy:  c.Policy,
+		marked:  make(map[uint64]bool),
+		pending: make(map[uint64]*pendingMark),
 	}
 	// Bound on an encoded index entry: rect (two keys + bounds + two
 	// times) + child address + framing.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/record"
 	"repro/internal/storage"
@@ -39,6 +40,10 @@ func (t *Tree) Image() TreeImage {
 	for page := range t.marked {
 		img.Marked = append(img.Marked, page)
 	}
+	// Deterministic order: images of equivalent trees must be
+	// byte-identical (the shard- and migration-equivalence property tests
+	// compare serialized images directly).
+	sort.Slice(img.Marked, func(i, j int) bool { return img.Marked[i] < img.Marked[j] })
 	return img
 }
 
@@ -55,11 +60,12 @@ func FromImage(mag storage.PageStore, worm storage.WORMDevice, img TreeImage) (*
 			LeafCapacity:  img.LeafCapacity,
 			IndexCapacity: img.IndexCapacity,
 		},
-		policy: img.Policy,
-		root:   img.Root,
-		now:    img.Now,
-		stats:  img.Stats,
-		marked: make(map[uint64]bool),
+		policy:  img.Policy,
+		root:    img.Root,
+		now:     img.Now,
+		stats:   img.Stats,
+		marked:  make(map[uint64]bool),
+		pending: make(map[uint64]*pendingMark),
 	}
 	t.entryCap = 2*img.MaxKeySize + 64
 	for _, page := range img.Marked {

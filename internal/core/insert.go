@@ -41,6 +41,11 @@ func (t *Tree) Insert(v record.Version) error {
 		if t.size(root)+need <= limit {
 			break
 		}
+		if root.leaf && t.deferSplits && t.deferSplit(root, false, v) {
+			// Background migration: the root leaf is queued for a time
+			// split; the insert lands in the logically-overfull leaf.
+			break
+		}
 		if err := t.splitRoot(); err != nil {
 			return err
 		}
@@ -67,6 +72,15 @@ func (t *Tree) Insert(v record.Version) error {
 			}
 		} else if t.size(child)+3*t.entryCap > t.cfg.IndexCapacity {
 			needSplit = true
+		}
+		if needSplit && child.leaf && t.deferSplits && t.deferSplit(child, forced, v) {
+			// Background migration: instead of time splitting here —
+			// burning the historical half to the WORM while holding the
+			// shard's write latch — the leaf is queued for the migrator
+			// and the insert proceeds into the logically-overfull leaf.
+			// Key splits (and any leaf out of physical page headroom)
+			// still split inline.
+			needSplit = false
 		}
 		if needSplit {
 			if err := t.splitChild(n, idx, forced); err != nil {

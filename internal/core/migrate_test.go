@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// drainPending runs the mark → capture → burn → swap cycle synchronously
+// until the tree has no queued splits: the single-goroutine stand-in for
+// internal/db's per-shard migrator.
+func drainPending(t *testing.T, tree *Tree) (applied, stale int) {
+	t.Helper()
+	for {
+		tickets := tree.TakeNewPendingSplits()
+		if len(tickets) == 0 && tree.PendingSplitCount() == 0 {
+			return applied, stale
+		}
+		if len(tickets) == 0 {
+			// Queued but no fresh ticket (a prior drain left marks):
+			// synthesize tickets from the pending map via capture-by-page.
+			t.Fatalf("pending splits with no tickets: %d", tree.PendingSplitCount())
+		}
+		for _, ps := range tickets {
+			cap, ok, err := tree.CaptureSplit(ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				stale++
+				continue
+			}
+			addr, err := tree.BurnCapture(cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := tree.ApplySplit(cap, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				applied++
+			} else {
+				stale++
+			}
+		}
+	}
+}
+
+// TestDeferredSplitEquivalence is the core-level equivalence property:
+// driving the same committed-version stream through an inline tree and a
+// deferred tree (draining the migration queue after every insert) must
+// produce byte-identical structures — same dump, same stats, same node
+// counts — because the deferred swap replays exactly the split the inline
+// path would have performed.
+func TestDeferredSplitEquivalence(t *testing.T) {
+	for _, p := range []Policy{PolicyWOBTLike, PolicyLastUpdate, PolicyTimePref} {
+		for _, seed := range []int64{1, 5, 9} {
+			t.Run(fmt.Sprintf("policy=%s/seed=%d", p.SplitTime, seed), func(t *testing.T) {
+				inline, _, _ := newTestTree(t, p)
+				deferred, _, _ := newTestTree(t, p)
+				deferred.SetDeferTimeSplits(true)
+
+				rng := rand.New(rand.NewSource(seed))
+				for ts := uint64(1); ts <= 400; ts++ {
+					key := fmt.Sprintf("k%02d", rng.Intn(24))
+					val := fmt.Sprintf("v%d-%d", ts, rng.Intn(100))
+					put(t, inline, key, ts, val)
+					put(t, deferred, key, ts, val)
+					drainPending(t, deferred)
+				}
+
+				checkOK(t, inline)
+				checkOK(t, deferred)
+				di, err := inline.Dump()
+				if err != nil {
+					t.Fatal(err)
+				}
+				dd, err := deferred.Dump()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if di != dd {
+					t.Fatalf("structures diverged:\ninline:\n%s\ndeferred:\n%s", di, dd)
+				}
+				if inline.Stats() != deferred.Stats() {
+					t.Fatalf("stats diverged:\ninline:   %+v\ndeferred: %+v", inline.Stats(), deferred.Stats())
+				}
+				if deferred.MigrationFallbacks() != 0 {
+					t.Fatalf("drain-per-insert run fell back inline %d times", deferred.MigrationFallbacks())
+				}
+			})
+		}
+	}
+}
+
+// TestDeferredSplitAbsorbsConcurrentInserts covers the epoch/re-dirty
+// path: versions inserted into a queued leaf between capture and swap
+// must survive the swap (they partition into the current half), and the
+// swap must still install the burned node.
+func TestDeferredSplitAbsorbsConcurrentInserts(t *testing.T) {
+	// SplitAtLastUpdate picks a split time strictly before the incoming
+	// version's timestamp, so committed inserts can defer (SplitAtNow
+	// would pick T == the insert's own time and fall back inline).
+	tree, _, _ := newTestTree(t, PolicyLastUpdate)
+	tree.SetDeferTimeSplits(true)
+
+	// Two keys with updates so a time split is both legal and wanted;
+	// insert until the leaf overflows and a ticket is queued.
+	ts := uint64(1)
+	var ps PendingSplit
+	queued := false
+	rounds := 0
+	for i := 0; i < 64 && !queued; i++ {
+		put(t, tree, "a", ts, fmt.Sprintf("a%d", i))
+		ts++
+		put(t, tree, "b", ts, fmt.Sprintf("b%d", i))
+		ts++
+		rounds++
+		if tk := tree.TakeNewPendingSplits(); len(tk) > 0 {
+			ps = tk[0]
+			queued = true
+		}
+	}
+	if !queued {
+		t.Fatal("no deferred split was queued")
+	}
+	cap, ok, err := tree.CaptureSplit(ps)
+	if err != nil || !ok {
+		t.Fatalf("capture: ok=%v err=%v", ok, err)
+	}
+	// Concurrent (well, interleaved) inserts into the marked leaf after
+	// the capture: they land at times >= T, so the burn stays exact but
+	// the epoch moves, forcing the recompute-and-compare path.
+	put(t, tree, "a", ts, "late-a")
+	put(t, tree, "b", ts, "late-b")
+	tree.TakeNewPendingSplits() // no duplicate ticket for a queued leaf
+	addr, err := tree.BurnCapture(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := tree.ApplySplit(cap, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("swap abandoned despite an exact burn")
+	}
+	checkOK(t, tree)
+	// Nothing lost: every version of both keys, including the two late
+	// ones, is reachable.
+	for _, k := range []string{"a", "b"} {
+		h, err := tree.History(record.StringKey(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h) != rounds+1 {
+			t.Fatalf("history(%s) = %d versions, want %d", k, len(h), rounds+1)
+		}
+		last := h[len(h)-1]
+		if string(last.Value) != "late-"+k {
+			t.Fatalf("history(%s) latest = %q", k, last.Value)
+		}
+	}
+	if tree.Stats().LeafTimeSplits == 0 {
+		t.Fatal("no time split recorded")
+	}
+}
+
+// TestDeferredSplitStaleTicket covers the abandonment paths: a ticket
+// whose leaf was inline-split before capture burns nothing; a capture
+// whose leaf was inline-split before the swap wastes its burn but leaves
+// the tree intact.
+func TestDeferredSplitStaleTicket(t *testing.T) {
+	tree, _, worm := newTestTree(t, PolicyLastUpdate)
+	tree.SetDeferTimeSplits(true)
+
+	ts := uint64(1)
+	var ps PendingSplit
+	queued := false
+	for i := 0; i < 64 && !queued; i++ {
+		put(t, tree, "a", ts, fmt.Sprintf("a%d", i))
+		ts++
+		put(t, tree, "b", ts, fmt.Sprintf("b%d", i))
+		ts++
+		if tk := tree.TakeNewPendingSplits(); len(tk) > 0 {
+			ps = tk[0]
+			queued = true
+		}
+	}
+	if !queued {
+		t.Fatal("no deferred split was queued")
+	}
+	cap, ok, err := tree.CaptureSplit(ps)
+	if err != nil || !ok {
+		t.Fatalf("capture: ok=%v err=%v", ok, err)
+	}
+
+	// Fill the leaf past its physical page: the insert path must fall
+	// back to an inline split, invalidating the mark.
+	big := make([]byte, 15)
+	for i := range big {
+		big[i] = 'x'
+	}
+	for tree.MigrationFallbacks() == 0 {
+		err := tree.Insert(record.Version{
+			Key: record.StringKey("b"), Time: record.Timestamp(ts), Value: big,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts++
+	}
+
+	// A fresh capture of the same ticket is stale (no burn, no waste).
+	if _, ok, err := tree.CaptureSplit(ps); err != nil || ok {
+		t.Fatalf("capture of stale ticket: ok=%v err=%v", ok, err)
+	}
+
+	// The earlier capture's burn is wasted: the swap must refuse.
+	burnedBefore := worm.Stats().Appends
+	addr, err := tree.BurnCapture(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worm.Stats().Appends != burnedBefore+1 {
+		t.Fatal("burn did not reach the device")
+	}
+	applied, err := tree.ApplySplit(cap, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatal("stale capture was applied")
+	}
+	checkOK(t, tree)
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/record"
 	"repro/internal/storage"
@@ -15,6 +17,23 @@ import (
 // be time split at the next opportunity" optimization.
 func (t *Tree) splitNode(n *node, forced bool) ([]entry, error) {
 	delete(t.marked, n.addr.Off)
+	if d := t.directed; d != nil && !d.done && n.leaf && n.addr.Off == d.page {
+		// Background migrator swap: the historical half was already
+		// burned off-latch; install it instead of migrating inline.
+		d.done = true
+		delete(t.pending, n.addr.Off)
+		if d.forced {
+			t.stats.ForcedTimeSplits++
+		}
+		return t.timeSplitLeafWith(n, d.T, &burnedNode{addr: d.addr, data: d.data, trusted: d.trusted})
+	}
+	if _, queued := t.pending[n.addr.Off]; queued {
+		// The node was queued for a background time split but is being
+		// split inline after all (no physical headroom left, or an
+		// explicit forced split): the queued ticket is now stale.
+		delete(t.pending, n.addr.Off)
+		t.migFallbacks++
+	}
 	if n.leaf {
 		return t.splitLeaf(n, forced)
 	}
@@ -96,14 +115,16 @@ func (t *Tree) chooseSplitTime(n *node) (record.Timestamp, bool) {
 	return 0, false
 }
 
-// splitLeaf implements the data-node split of §3.1-§3.3 and the decision
-// criteria of §3.2: a node of all-current versions must key split, a node
-// with one distinct key must time split, and in between the policy's
-// threshold on the current fraction decides.
-func (t *Tree) splitLeaf(n *node, forced bool) ([]entry, error) {
+// plannedTimeSplit applies the decision criteria of §3.2 and reports
+// whether splitting leaf n would be a time split (timeSplit, with its
+// time T) or a key split (canKey — meaningful only when timeSplit is
+// false). It is the pure decision half of splitLeaf, shared with the
+// background-migration deferral check, which must predict exactly what
+// the inline path would do.
+func (t *Tree) plannedTimeSplit(n *node, forced bool) (T record.Timestamp, timeSplit, canKey bool) {
 	current, total, distinctKeys, hasUpdates := currentVersionStats(n)
 	T, canTime := t.chooseSplitTime(n)
-	canKey := distinctKeys >= 2
+	canKey = distinctKeys >= 2
 
 	wantTime := forced
 	if !forced {
@@ -120,36 +141,49 @@ func (t *Tree) splitLeaf(n *node, forced bool) ([]entry, error) {
 
 	switch {
 	case wantTime && canTime:
+		return T, true, canKey
+	case canKey:
+		return 0, false, true
+	case canTime:
+		return T, true, false
+	default:
+		return 0, false, false
+	}
+}
+
+// splitLeaf implements the data-node split of §3.1-§3.3 and the decision
+// criteria of §3.2: a node of all-current versions must key split, a node
+// with one distinct key must time split, and in between the policy's
+// threshold on the current fraction decides.
+func (t *Tree) splitLeaf(n *node, forced bool) ([]entry, error) {
+	T, timeSplit, canKey := t.plannedTimeSplit(n, forced)
+	switch {
+	case timeSplit:
 		if forced {
+			// plannedTimeSplit plans a forced split as a time split
+			// only on the wantTime && canTime branch, so this count
+			// matches the pre-refactor decision table exactly.
 			t.stats.ForcedTimeSplits++
 		}
 		return t.timeSplitLeaf(n, T)
 	case canKey:
 		return t.keySplitLeaf(n)
-	case canTime:
-		return t.timeSplitLeaf(n, T)
 	default:
 		return nil, fmt.Errorf("core: leaf %s cannot be split (single key, no committed history)", n.addr)
 	}
 }
 
-// timeSplitLeaf applies the Time-Split Rule of §3.1 at time T:
-//
-//  1. all entries with time less than T go in the old (historical) node;
-//  2. all entries with time greater or equal to T go in the new node;
-//  3. for each key, the version valid at the split time must be in the
-//     new node — forcing redundancy for records persisting across T.
-//
-// Pending versions carry no timestamp and always stay current (§4).
-// If the surviving current node would still overflow, it is immediately
-// key split as well (the WOBT's "split by key value and current time").
-func (t *Tree) timeSplitLeaf(n *node, T record.Timestamp) ([]entry, error) {
-	histRect, curRect := n.rect.SplitAtTime(T)
-
-	var hist, cur []record.Version
+// partitionVersions applies the Time-Split Rule of §3.1 at time T to a
+// leaf's versions, returning the historical half, the current half
+// (including the rule-3 redundant copies), and the redundant-copy count.
+// Both halves come back in canonical sorted order, so the encoding of the
+// historical node is a deterministic function of (versions, T) — which is
+// what lets the background migrator burn the historical half off-latch and
+// later verify, byte for byte, that the burn still matches the node.
+func partitionVersions(versions []record.Version, T record.Timestamp) (hist, cur []record.Version, redundant int) {
 	aliveAt := make(map[string]record.Version)
 	hasAtT := make(map[string]bool)
-	for _, v := range n.versions {
+	for _, v := range versions {
 		switch {
 		case v.IsPending():
 			cur = append(cur, v)
@@ -165,7 +199,6 @@ func (t *Tree) timeSplitLeaf(n *node, T record.Timestamp) ([]entry, error) {
 			}
 		}
 	}
-	redundant := 0
 	for k, v := range aliveAt {
 		// The version valid at T — the one with "the largest time
 		// smaller than or equal to T" — must be in the new node
@@ -178,16 +211,75 @@ func (t *Tree) timeSplitLeaf(n *node, T record.Timestamp) ([]entry, error) {
 		cur = append(cur, v)
 		redundant++
 	}
+	sortVersions(hist)
+	sortVersions(cur)
+	return hist, cur, redundant
+}
+
+// burnedNode is a historical node the background migrator already appended
+// to the WORM, handed to the split path in place of an inline migration.
+// trusted skips the byte re-verification: the leaf's write epoch has not
+// moved since the capture, so its bytes are exactly what was captured.
+type burnedNode struct {
+	addr    storage.Addr
+	data    []byte // exact encoded bytes that were burned
+	trusted bool
+}
+
+// errBurnMismatch reports a directed split whose pre-burned historical
+// node no longer matches the leaf's historical half. The ordinary write
+// paths cannot cause this (they only touch the current half), so
+// ApplySplit treats it as a stale capture and abandons the burn.
+var errBurnMismatch = fmt.Errorf("core: pre-burned historical node does not match leaf")
+
+// timeSplitLeaf applies the Time-Split Rule of §3.1 at time T:
+//
+//  1. all entries with time less than T go in the old (historical) node;
+//  2. all entries with time greater or equal to T go in the new node;
+//  3. for each key, the version valid at the split time must be in the
+//     new node — forcing redundancy for records persisting across T.
+//
+// Pending versions carry no timestamp and always stay current (§4).
+// If the surviving current node would still overflow, it is immediately
+// key split as well (the WOBT's "split by key value and current time").
+func (t *Tree) timeSplitLeaf(n *node, T record.Timestamp) ([]entry, error) {
+	return t.timeSplitLeafWith(n, T, nil)
+}
+
+// timeSplitLeafWith is timeSplitLeaf with an optional pre-burned
+// historical node: nil migrates inline (holding whatever latch the caller
+// holds for the duration of the WORM append); non-nil installs the
+// already-burned node after verifying it still encodes exactly the leaf's
+// historical half.
+func (t *Tree) timeSplitLeafWith(n *node, T record.Timestamp, burned *burnedNode) ([]entry, error) {
+	histRect, curRect := n.rect.SplitAtTime(T)
+	hist, cur, redundant := partitionVersions(n.versions, T)
 	if len(hist) == 0 {
 		return nil, fmt.Errorf("core: time split of %s at %s leaves empty historical node", n.addr, T)
 	}
-	sortVersions(hist)
-	sortVersions(cur)
 
 	histNode := &node{rect: histRect, leaf: true, versions: hist}
-	histAddr, err := t.migrate(histNode)
-	if err != nil {
-		return nil, err
+	var histAddr storage.Addr
+	if burned != nil {
+		// The epoch/re-dirty check: a leaf rewritten since its capture
+		// re-verifies, byte for byte, that the burn still encodes its
+		// historical half (concurrent inserts and commit stamps land in
+		// the current half only, so a live mark implies a match).
+		if !burned.trusted && !bytes.Equal(encodeNode(histNode), burned.data) {
+			return nil, errBurnMismatch
+		}
+		histAddr = burned.addr
+		// The burn itself happened off-latch; account for it now, under
+		// the latch, exactly as migrate would have.
+		t.stats.HistoricalNodes++
+		t.stats.VersionsMigrated += uint64(len(hist))
+		t.stats.BytesMigrated += uint64(len(burned.data))
+	} else {
+		var err error
+		histAddr, err = t.migrate(histNode)
+		if err != nil {
+			return nil, err
+		}
 	}
 	t.stats.LeafTimeSplits++
 	t.stats.RedundantVersions += uint64(redundant)
@@ -511,8 +603,12 @@ func indexSplitValue(n *node) (record.Key, bool) {
 // splitChild splits the child under parent.entries[idx] and patches the
 // parent in place (the parent is guaranteed to be on the magnetic disk:
 // "all parts of the index which refer to [the current database] must be on
-// an erasable medium", §1).
+// an erasable medium", §1). Split work always runs under the owning
+// shard's write latch, so its duration is accumulated into splitNanos —
+// the latch-hold measurement the background migrator exists to shrink.
 func (t *Tree) splitChild(parent *node, idx int, forced bool) error {
+	start := time.Now()
+	defer func() { t.splitNanos += uint64(time.Since(start)) }()
 	child, err := t.readNode(parent.entries[idx].child)
 	if err != nil {
 		return err
@@ -533,6 +629,8 @@ func (t *Tree) splitChild(parent *node, idx int, forced bool) error {
 // splitRoot splits the root and grows the tree by one level: the new root
 // is a fresh index node over the pieces.
 func (t *Tree) splitRoot() error {
+	start := time.Now()
+	defer func() { t.splitNanos += uint64(time.Since(start)) }()
 	root, err := t.readNode(t.root)
 	if err != nil {
 		return err

@@ -51,6 +51,11 @@ func (d *DB) SaveTo(w io.Writer) error {
 	if n := d.tm.ActiveUpdaters(); n > 0 {
 		return fmt.Errorf("%w: %d in flight", ErrActiveTransactions, n)
 	}
+	// Fence the background migrator exactly as Checkpoint does: workers
+	// are not updating transactions, and a swap landing between the
+	// device images and the tree images below would tear the checkpoint.
+	d.mig.pause()
+	defer d.mig.resume()
 	mag, magOK := d.mag.(*storage.MagneticDisk)
 	worm, wormOK := d.worm.(*storage.WORMDisk)
 	if !magOK || !wormOK {

@@ -97,6 +97,42 @@
 // flight (ErrActiveTransactions) and refuse paged databases (whose
 // durable state is the directory itself).
 //
+// # Background migration
+//
+// With Config.BackgroundMigration, time-split migration leaves the
+// insert path: an insert that would time split a leaf marks it and
+// returns fast, and a per-shard worker later captures the historical
+// half under a short read latch, burns it to the write-once device with
+// NO latch held, and swaps the rewritten leaf in under a short write
+// latch. The consistency contract, precisely:
+//
+//   - No version is ever unreachable, at any instant: the swap goes
+//     through the same split machinery an inline split uses, atomically
+//     under the shard's write latch, so a reader sees the pre-swap or
+//     the post-swap node — never a torn one.
+//   - Concurrent writes into a marked leaf are never lost: they land
+//     under the write latch and partition into the current half at swap
+//     time (commit timestamps always exceed the chosen split time); a
+//     leaf rewritten since its capture is re-verified byte for byte
+//     before the burn is trusted (the epoch/re-dirty check).
+//   - A lost race (the leaf ran out of physical page headroom and split
+//     inline first) abandons the burned node as unreferenced write-once
+//     waste — Stats().Migrator.Abandoned — never links it in.
+//   - Checkpoints fence the workers around the boundary, so v3 dumps
+//     and v4 page captures stay boundary-exact. Marks are not durable:
+//     a crash drops them and future inserts re-create them.
+//   - Close finishes the in-flight migration and drops the queue (a
+//     marked-but-unsplit leaf is a valid tree); DrainMigrations flushes
+//     the queue synchronously first when every historical node must
+//     reach the write-once device.
+//
+// Inline splitting (BackgroundMigration unset) remains the default and
+// the recovery-replay behavior; no split-policy knob is inline-only —
+// core.Policy applies identically in both modes, and the background
+// path defers exactly the splits the policy would have performed. See
+// docs/ARCHITECTURE.md for the migration state machine and its
+// admissible interleavings.
+//
 // # Streaming reads
 //
 // Range reads are cursors: Cursor (and the iter.Seq2 form, Range) yields
@@ -206,6 +242,22 @@ type Config struct {
 	// mode fails. Incompatible with BufferPages = NoCachePages (the
 	// dirty-page table IS the pool).
 	PagedDevices bool
+	// BackgroundMigration moves time-split migration off the insert
+	// path: an insert that would time split a leaf (burning its
+	// historical half to the slow write-once device while holding the
+	// shard's write latch) instead marks the leaf and returns fast, and
+	// a per-shard background worker later captures the historical half
+	// under a short read latch, burns it with NO latch held, and swaps
+	// the rewritten leaf in under a short write latch. Readers always
+	// see the pre- or post-swap node, never a torn one, and no version
+	// is ever unreachable — see Stats().Migrator and the package
+	// documentation's migration contract. Deferral needs physical page
+	// headroom: with LeafCapacity equal to PageSize (the default) a
+	// logically-overfull leaf has nowhere to grow and splits inline, so
+	// set LeafCapacity below PageSize to give the migrator room.
+	// Works for in-memory, durable, and paged databases; recovery
+	// replay always splits inline (marks are not durable state).
+	BackgroundMigration bool
 	// CheckpointBytes triggers a background incremental checkpoint
 	// (which truncates the log) once the WAL has grown by this many
 	// bytes since the last one. 0 selects the 4 MiB default; negative
@@ -260,6 +312,10 @@ type DB struct {
 	// group of the secondary indexes (shard i uses group i).
 	epoch  uint64
 	secTag int
+
+	// mig is the background time-split migrator
+	// (Config.BackgroundMigration); nil when migration is inline.
+	mig *migrator
 
 	// secMu latches the secondary indexes: write-held while commit
 	// posting applies index maintenance, read-held by lookups.
@@ -341,6 +397,9 @@ func Open(cfg Config) (*DB, error) {
 	}
 	d.tm = txn.NewManager(d.store, d.store.Now())
 	d.tm.SetCommitHook(d.onCommit)
+	if cfg.BackgroundMigration {
+		d.startMigrator()
+	}
 	return d, nil
 }
 
@@ -702,6 +761,11 @@ type Stats struct {
 	// databases). Txn.Committed / WAL.Syncs is the group-commit fsync
 	// amortization.
 	WAL wal.Stats
+	// Migrator is the background time-split migrator's accounting:
+	// queue depth, nodes migrated, bytes burned off-latch, abandoned
+	// burns, and the split-under-latch time it exists to shrink
+	// (SplitLatchNanos is reported for inline databases too).
+	Migrator MigratorStats
 	// Secondaries maps index name to its tree stats.
 	Secondaries map[string]core.Stats
 }
@@ -721,6 +785,11 @@ func (d *DB) Stats() Stats {
 	if d.pool != nil {
 		st.Buffer = d.pool.Stats()
 	}
+	st.Migrator = d.mig.statsSnapshot()
+	latchNanos, fallbacks, pending := d.store.migrationCounters()
+	st.Migrator.SplitLatchNanos = latchNanos
+	st.Migrator.InlineFallbacks = fallbacks
+	st.Migrator.PendingNodes = pending
 	st.Device = DeviceStats{
 		Paged:        d.pf != nil,
 		SpaceM:       st.Magnetic.BytesInUse(d.mag.PageSize()),

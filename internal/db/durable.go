@@ -187,6 +187,11 @@ func openDurable(cfg Config) (*DB, error) {
 		d.cpDone.Add(1)
 		go d.backgroundCheckpointer()
 	}
+	if cfg.BackgroundMigration {
+		// Started only now, after recovery: replayed inserts split
+		// inline (deterministically), and marks are never durable state.
+		d.startMigrator()
+	}
 	d.dirLock = lock
 	ok = true
 	return d, nil
@@ -360,6 +365,16 @@ func (d *DB) Checkpoint() error {
 	if d.closed {
 		return ErrClosed
 	}
+	// Fence the background migrator for the duration of the checkpoint:
+	// in-flight migrations complete first (pause waits for them), then
+	// the workers idle, so no swap rewrites pages and no off-latch burn
+	// moves the WORM tail while the boundary is captured. The fence is
+	// what keeps v4 page captures and v3 dumps boundary-exact with
+	// migrations in the system; queued-but-unprocessed marks are not
+	// durable state and simply survive (or, after a crash, are
+	// re-created by future inserts).
+	d.mig.pause()
+	defer d.mig.resume()
 	if d.pf != nil {
 		return d.checkpointPagedLocked()
 	}
@@ -429,11 +444,21 @@ func (d *DB) backgroundCheckpointer() {
 	}
 }
 
-// Close stops the background checkpointer and closes the write-ahead
-// log. Acknowledged commits are already durable (group commit fsyncs
-// before acknowledging), so Close flushes nothing; it exists to release
-// the directory cleanly. It returns the first background-checkpoint
-// error, if any. Closing an in-memory database is a no-op.
+// Close stops the background checkpointer and the background migrator,
+// then closes the write-ahead log. Acknowledged commits are already
+// durable (group commit fsyncs before acknowledging), so Close flushes
+// nothing; it exists to release the directory cleanly.
+//
+// What Close guarantees about pending migrations: any migration whose
+// swap is in flight completes (so the tree is never left mid-swap — not
+// that a torn swap is possible; the swap is atomic under the shard
+// latch), and the workers then exit. Leaves still queued are simply left
+// unsplit — a valid TSB-tree state; nothing acknowledged depends on a
+// mark, and future inserts re-queue them. Call DrainMigrations first if
+// every deferred historical node must reach the write-once device before
+// the handle is released. Close returns the first background-checkpoint
+// or migrator error, if any. Closing an in-memory database only stops
+// its migrator.
 func (d *DB) Close() error {
 	d.cpMu.Lock()
 	if d.closed {
@@ -446,6 +471,9 @@ func (d *DB) Close() error {
 	if d.stopCp != nil {
 		close(d.stopCp)
 		d.cpDone.Wait()
+	}
+	if err := d.mig.stop(); err != nil && cpErr == nil {
+		cpErr = err
 	}
 	if d.wal != nil {
 		if err := d.wal.Close(); err != nil && cpErr == nil {

@@ -26,6 +26,10 @@ type shard struct {
 // results — no interleaving is ever needed.
 type shardedStore struct {
 	shards []*shard
+	// mig, when non-nil, receives the deferred-split tickets inserts
+	// create (Config.BackgroundMigration). Set once at open time, before
+	// concurrent use.
+	mig *migrator
 }
 
 func newShardedStore(trees []*core.Tree) *shardedStore {
@@ -65,10 +69,21 @@ func (s *shardedStore) Now() record.Timestamp {
 }
 
 func (s *shardedStore) Insert(v record.Version) error {
-	sh := s.shardFor(v.Key)
+	i := record.ShardOfKey(v.Key, len(s.shards))
+	sh := s.shards[i]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.tree.Insert(v)
+	err := sh.tree.Insert(v)
+	var tickets []core.PendingSplit
+	if s.mig != nil {
+		// Drain tickets while still holding the write latch (the slice
+		// is tree state); hand them to the worker after releasing it.
+		tickets = sh.tree.TakeNewPendingSplits()
+	}
+	sh.mu.Unlock()
+	if len(tickets) > 0 {
+		s.mig.enqueue(i, tickets)
+	}
+	return err
 }
 
 func (s *shardedStore) CommitKey(k record.Key, txnID uint64, commitTime record.Timestamp) error {
@@ -270,6 +285,20 @@ func (s *shardedStore) Diff(low record.Key, high record.Bound, from, to record.T
 		out = append(out, part...)
 	}
 	return out, nil
+}
+
+// migrationCounters aggregates the per-tree migration measurements that
+// live outside core.Stats: split-under-latch time, inline fallbacks, and
+// currently-marked leaves.
+func (s *shardedStore) migrationCounters() (splitLatchNanos, fallbacks uint64, pending int) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		splitLatchNanos += sh.tree.SplitLatchNanos()
+		fallbacks += sh.tree.MigrationFallbacks()
+		pending += sh.tree.PendingSplitCount()
+		sh.mu.RUnlock()
+	}
+	return splitLatchNanos, fallbacks, pending
 }
 
 // stats aggregates the structural counters of every shard tree.
