@@ -7,7 +7,10 @@
 // diffs on ops/sec; the cursor-limit1 point on page reads per cursor
 // (lower is better); the put-latency point on microseconds per put
 // (lower is better); the group-commit point on ops/sec and additionally
-// reports the records-per-fsync amortization shift.
+// reports the records-per-fsync amortization shift; the
+// maintenance-compaction point on waste reclaimed (higher is better)
+// and the maintenance-ckpt-pause point on the per-checkpoint commit
+// pause (lower is better).
 //
 // Usage:
 //
@@ -44,6 +47,8 @@ type point struct {
 	FlushedPages     uint64  `json:"flushed_pages,omitempty"`
 	PutP99Micros     float64 `json:"put_p99_us,omitempty"`
 	SplitLatchMillis float64 `json:"split_latch_ms,omitempty"`
+	WasteReclaimed   uint64  `json:"waste_reclaimed_b,omitempty"`
+	CkptPauseMillis  float64 `json:"ckpt_pause_ms,omitempty"`
 }
 
 // key identifies a trajectory point across runs.
@@ -86,10 +91,12 @@ func load(path string) (map[key]point, error) {
 }
 
 // metric names the quantity a point is compared on, and its regression
-// direction: burned bytes per op, checkpoint milliseconds, and the
-// migration-latency put p99 regress upward (more write-once capacity
-// consumed, slower checkpoints, fatter latency tails), like page reads
-// and put latency; throughput regresses downward.
+// direction: burned bytes per op, checkpoint milliseconds, the
+// migration-latency put p99, and the maintenance checkpoint pause
+// regress upward (more write-once capacity consumed, slower or
+// longer-pausing checkpoints, fatter latency tails), like page reads
+// and put latency; throughput and the compaction reclaim regress
+// downward (less waste handed back for the same aging).
 func metric(p point) (name string, value float64, lowerIsBetter bool) {
 	switch {
 	case p.PageReads > 0:
@@ -102,6 +109,10 @@ func metric(p point) (name string, value float64, lowerIsBetter bool) {
 		return "ckpt-ms", p.CheckpointMillis, true
 	case p.PutP99Micros > 0:
 		return "p99-us/put", p.PutP99Micros, true
+	case p.WasteReclaimed > 0:
+		return "reclaimed-B", float64(p.WasteReclaimed), false
+	case p.CkptPauseMillis > 0:
+		return "ckpt-pause-ms", p.CkptPauseMillis, true
 	default:
 		return "ops/sec", p.OpsPerSec, false
 	}

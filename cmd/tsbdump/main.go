@@ -22,8 +22,9 @@
 // status) and the WORM burn file sector by sector (payload vs. waste,
 // CRC status, whether the sector is inside the checkpoint boundary or
 // an orphaned post-boundary burn), ending with the burned-waste
-// accounting — SpaceO, payload, waste, utilization. It reads without
-// locking; safe on a live or crashed directory.
+// accounting — SpaceO, live payload, waste (dead payload from abandoned
+// migrations and orphans counts here, not as payload), utilization. It
+// reads without locking; safe on a live or crashed directory.
 package main
 
 import (
@@ -142,14 +143,19 @@ func dumpPagedDir(w io.Writer, dir string) error {
 	if err != nil {
 		return err
 	}
-	var boundary uint64
+	var boundary, metaDead uint64
 	if found && info.Paged != nil {
 		m := info.Paged
 		boundary = m.Burned
+		metaDead = m.DeadBytes
 		fmt.Fprintf(w, "checkpoint: format v%d (paged), epoch %d, clock=%s, LSN boundary %d\n",
 			wal.PagedCheckpointFormatVersion, m.Epoch, info.Clock, info.LSN)
 		fmt.Fprintf(w, "allocator: %d pages (%d free), boundary %d burned sectors\n",
 			m.Alloc.Pages, len(m.Alloc.Free), m.Burned)
+		if metaDead > 0 {
+			fmt.Fprintf(w, "dead payload: %d B of in-boundary burns referenced by nothing (abandoned migrations; compaction reclaims)\n",
+				metaDead)
+		}
 	} else if found {
 		return fmt.Errorf("%s holds a logical-device database (use -waldir)", dir)
 	} else {
@@ -207,15 +213,31 @@ func dumpPagedDir(w io.Writer, dir string) error {
 		return err
 	}
 	burnedBytes := sectors * uint64(sectorSize)
-	if burnedBytes >= payload {
-		waste = burnedBytes - payload
+	// Dead payload — checkpoint-recorded abandoned burns plus orphaned
+	// post-boundary burns — is unreachable and counts as waste, not
+	// payload; compaction reclaims it. Clamped so a freshly compacted or
+	// inconsistent (mid-crash) directory still reports utilization in
+	// [0,1].
+	dead := metaDead + orphanWaste
+	if dead > payload {
+		dead = payload
+	}
+	live := payload - dead
+	if burnedBytes >= live {
+		waste = burnedBytes - live
 	}
 	util := 1.0
 	if burnedBytes > 0 {
-		util = float64(payload) / float64(burnedBytes)
+		util = float64(live) / float64(burnedBytes)
+		if util < 0 {
+			util = 0
+		}
+		if util > 1 {
+			util = 1
+		}
 	}
-	fmt.Fprintf(w, "  %d sector(s) of %d B burned = %d B SpaceO: %d B payload, %d B waste (utilization %.2f), %d bad\n",
-		sectors, sectorSize, burnedBytes, payload, waste, util, badSectors)
+	fmt.Fprintf(w, "  %d sector(s) of %d B burned = %d B SpaceO: %d B live payload, %d B waste (%d B dead payload, utilization %.2f), %d bad\n",
+		sectors, sectorSize, burnedBytes, live, waste, dead, util, badSectors)
 	if orphanWaste > 0 {
 		fmt.Fprintf(w, "  orphaned post-boundary burns hold %d payload byte(s) referenced by nothing (dead waste)\n", orphanWaste)
 	}

@@ -89,7 +89,8 @@ func TestDumpPagedDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"format v4 (paged)", "page file", "crc ok", "burn file", "payload", "utilization", "0 bad"} {
+	for _, want := range []string{"format v4 (paged)", "page file", "crc ok", "burn file",
+		"live payload", "dead payload, utilization", "0 bad"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("paged dump missing %q:\n%s", want, out)
 		}

@@ -1,12 +1,13 @@
-// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E14)
+// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E15)
 // and prints their tables: the measurement plan stated in §3.2/§5 of
 // Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, the
 // concurrent sharded-engine scaling run (E10), the group-commit
 // fsync-amortization run (E11, durable mode in a temp directory), the
 // WORM burn-rate run (E12), the paged checkpoint-duration run (E13,
-// paged durable mode in a temp directory), and the background-migration
+// paged durable mode in a temp directory), the background-migration
 // latency run (E14, inline vs background time splits under real
-// write-once burn latency).
+// write-once burn latency), and the maintenance-economy run (E15, fuzzy
+// checkpoint pause under concurrent writers plus compaction reclaim).
 //
 // Usage:
 //
@@ -15,9 +16,10 @@
 //
 // -benchjson writes the E10 throughput points as JSON — plus the cursor
 // page-read, put-latency, group-commit, worm-burn-rate,
-// checkpoint-duration, and migration-latency trajectory points — so CI
-// can archive a perf trajectory across commits covering writes, reads,
-// durability, checkpoint cost, and migration latency.
+// checkpoint-duration, migration-latency, and maintenance trajectory
+// points — so CI can archive a perf trajectory across commits covering
+// writes, reads, durability, checkpoint cost, migration latency, and
+// the maintenance economy (checkpoint pause, waste reclaimed).
 package main
 
 import (
@@ -64,7 +66,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 14; i++ {
+		for i := 1; i <= 15; i++ {
 			want[fmt.Sprintf("E%d", i)] = true
 		}
 	} else {
@@ -234,6 +236,31 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 			})
 		}
 	}
+	// E15 serves the printed table and two archived points: the
+	// compaction reclaim (higher is better) and the fuzzy checkpoint
+	// pause under writers (lower is better).
+	var maintPoints []benchPoint
+	if want["E15"] || archive {
+		dir, err := os.MkdirTemp("", "tsbench-e15-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		maintOps := min(max(p.Ops/8, 250), 2000)
+		res, tab, err := experiments.E15Maintenance(dir, workers, maintOps)
+		if err != nil {
+			return err
+		}
+		if want["E15"] {
+			fmt.Println(tab)
+		}
+		maintPoints = []benchPoint{
+			{Experiment: "maintenance-compaction", Shards: 2, Workers: workers, Ops: res.Ops,
+				WasteReclaimedBytes: res.ReclaimedBytes, WormUtilization: res.UtilAfter},
+			{Experiment: "maintenance-ckpt-pause", Shards: 2, Workers: workers, Ops: res.Ops,
+				CkptPauseMillis: res.AvgPauseMillis},
+		}
+	}
 	if archive {
 		extra, err := trajectoryPoints(p)
 		if err != nil {
@@ -242,6 +269,7 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 		points := append(e10, extra...)
 		points = append(points, *burnPoint, *ckptPoint, *gcPoint)
 		points = append(points, migPoints...)
+		points = append(points, maintPoints...)
 		if err := writeBenchJSON(benchJSON, points); err != nil {
 			return err
 		}
@@ -306,6 +334,13 @@ type benchPoint struct {
 	// points, one per mode: background must beat inline on both).
 	PutP99Micros     float64 `json:"put_p99_us,omitempty"`
 	SplitLatchMillis float64 `json:"split_latch_ms,omitempty"`
+	// WasteReclaimedBytes is the write-once capacity compaction handed
+	// back after aging the directory (maintenance-compaction points;
+	// higher is better). CkptPauseMillis is the mean commit-posting
+	// pause per checkpoint with writers running (maintenance-ckpt-pause
+	// points; the fuzzy per-flush-group capture keeps it low).
+	WasteReclaimedBytes uint64  `json:"waste_reclaimed_b,omitempty"`
+	CkptPauseMillis     float64 `json:"ckpt_pause_ms,omitempty"`
 }
 
 // e10Points converts the E10 results to archive records.

@@ -44,8 +44,9 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	}
 	// Two E10 curve points plus the five trajectory points (cursor page
 	// reads, put latency, worm burn rate, checkpoint duration, group
-	// commit) plus the two migration-latency points (inline/background).
-	if len(points) != 9 {
+	// commit) plus the two migration-latency points (inline/background)
+	// plus the two maintenance points (compaction, checkpoint pause).
+	if len(points) != 11 {
 		t.Fatalf("got %d bench points: %+v", len(points), points)
 	}
 	if points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
@@ -75,6 +76,12 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	}
 	if p := byExp["migration-latency-background"]; p.PutP99Micros <= 0 {
 		t.Errorf("migration-latency-background point = %+v", p)
+	}
+	if p := byExp["maintenance-compaction"]; p.WasteReclaimedBytes == 0 || p.WormUtilization <= 0 {
+		t.Errorf("maintenance-compaction point = %+v", p)
+	}
+	if p := byExp["maintenance-ckpt-pause"]; p.CkptPauseMillis <= 0 {
+		t.Errorf("maintenance-ckpt-pause point = %+v", p)
 	}
 }
 

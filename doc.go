@@ -4,8 +4,10 @@
 //
 // docs/ARCHITECTURE.md is the orientation document: the layer map, the
 // latch hierarchy, the durability contract (logical v3 vs paged v4
-// checkpoints), and the background-migration state machine with its
-// admissible interleavings.
+// checkpoints), the background-migration state machine with its
+// admissible interleavings, and the maintenance economy (the background
+// scheduler, WORM compaction, and the fuzzy per-shard checkpoint
+// capture).
 //
 // The system lives in internal/ (see DESIGN.md for the inventory):
 //
@@ -26,7 +28,7 @@
 //     fsync-batched write-ahead log of commit records plus logical
 //     checkpoints;
 //   - internal/workload, internal/metrics, internal/experiments: the
-//     evaluation harness (experiments E1-E14, see EXPERIMENTS.md).
+//     evaluation harness (experiments E1-E15, see EXPERIMENTS.md).
 //
 // The engine is concurrent and sharded: db.Config.Shards partitions the
 // key space across N independent TSB-trees (key-range sharding, so range
@@ -71,6 +73,20 @@
 // order-of-magnitude reductions in put p99 and in split-under-latch
 // time. Stats().Migrator reports queue depth, nodes migrated, bytes
 // burned, and abandoned burns.
+//
+// The same machinery keeps an aging database healthy: a per-DB
+// maintenance scheduler runs incremental checkpoints
+// (db.Config.CheckpointBytes) and — in paged mode — WORM compaction
+// (db.Config.CompactDeadBytes, or DB.Compact on demand), which copies
+// the live tail of the burn file forward, rewrites node addresses under
+// short write latches, and truncates the dead prefix region away so
+// Stats().Device utilization recovers. The paged checkpoint's capture
+// is fuzzy: per-shard boundary LSNs let each shard's image and dirty
+// pages be captured under only that shard's read latch, so the
+// commit-posting pause stays flat as the database grows. Experiment E15
+// (`tsbench -exp E15`) measures both — the per-checkpoint pause with
+// writers running and the capacity compaction reclaims after aging; see
+// the "maintenance economy" section of docs/ARCHITECTURE.md.
 //
 // Range reads stream: db.Cursor / txn.ReadTxn.Cursor (and the iter.Seq2
 // form, Range) yield a snapshot lazily, page by page, with

@@ -316,6 +316,30 @@ func (p *Pool) CaptureDirty(tag int) []DirtyPage {
 	return out
 }
 
+// CaptureDirtyExact copies the dirty pages whose tag equals tag
+// exactly — unlike CaptureDirty, a negative tag selects only the
+// untagged group instead of acting as a catch-all. The fuzzy checkpoint
+// needs this: after a shard's group was captured at its own boundary
+// LSN, re-dirtied pages of that shard must NOT ride along with a later
+// group's capture, or the installed image would hold commits the
+// boundary says are replay's to re-apply.
+func (p *Pool) CaptureDirtyExact(tag int) []DirtyPage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nDirty == 0 {
+		return nil
+	}
+	var out []DirtyPage
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if !fr.dirty || fr.tag != tag {
+			continue
+		}
+		out = append(out, captureFrame(fr))
+	}
+	return out
+}
+
 // CaptureDirtyGroups captures every flush group's dirty pages in a
 // single walk of the pool, keyed by tag — what a checkpoint's
 // group-by-group pre-flush uses, so the scan cost is one O(pool) pass

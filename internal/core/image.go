@@ -60,12 +60,13 @@ func FromImage(mag storage.PageStore, worm storage.WORMDevice, img TreeImage) (*
 			LeafCapacity:  img.LeafCapacity,
 			IndexCapacity: img.IndexCapacity,
 		},
-		policy:  img.Policy,
-		root:    img.Root,
-		now:     img.Now,
-		stats:   img.Stats,
-		marked:  make(map[uint64]bool),
-		pending: make(map[uint64]*pendingMark),
+		policy:       img.Policy,
+		root:         img.Root,
+		now:          img.Now,
+		stats:        img.Stats,
+		marked:       make(map[uint64]bool),
+		pending:      make(map[uint64]*pendingMark),
+		pendingLimit: defaultPendingSplitLimit,
 	}
 	t.entryCap = 2*img.MaxKeySize + 64
 	for _, page := range img.Marked {

@@ -46,6 +46,11 @@ func (t *Tree) Insert(v record.Version) error {
 			// split; the insert lands in the logically-overfull leaf.
 			break
 		}
+		if !root.leaf && t.deferSplits && t.deferIndexSplit(root, v) {
+			// Background migration: the root index node is queued for a
+			// local time split; the insert descends through it.
+			break
+		}
 		if err := t.splitRoot(); err != nil {
 			return err
 		}
@@ -80,6 +85,12 @@ func (t *Tree) Insert(v record.Version) error {
 			// and the insert proceeds into the logically-overfull leaf.
 			// Key splits (and any leaf out of physical page headroom)
 			// still split inline.
+			needSplit = false
+		}
+		if needSplit && !child.leaf && t.deferSplits && t.deferIndexSplit(child, v) {
+			// Same deferral for an overfull index child whose planned
+			// split is a pure local time split and whose subtree absorbs
+			// this insert without splitting (see deferIndexSplit).
 			needSplit = false
 		}
 		if needSplit {

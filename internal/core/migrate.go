@@ -111,9 +111,19 @@ func (t *Tree) TakeNewPendingSplits() []PendingSplit {
 	return ts
 }
 
-// PendingSplitCount returns how many leaves are currently queued for a
+// PendingSplitCount returns how many nodes are currently queued for a
 // background time split.
 func (t *Tree) PendingSplitCount() int { return len(t.pending) }
+
+// SetPendingSplitLimit overrides the backpressure bound on the
+// background-migration queue: once the queue holds this many nodes,
+// further overflows split inline until the migrator drains. It must be
+// called before concurrent use of the tree begins.
+func (t *Tree) SetPendingSplitLimit(n int) {
+	if n > 0 {
+		t.pendingLimit = n
+	}
+}
 
 // MigrationFallbacks returns how many queued leaves were split inline
 // after all because they ran out of physical page headroom.
@@ -149,6 +159,9 @@ func (t *Tree) deferSplit(child *node, forced bool, v record.Version) bool {
 	if _, queued := t.pending[child.addr.Off]; queued {
 		return true
 	}
+	if len(t.pending) >= t.pendingLimit {
+		return false // queue backpressure: split inline until the migrator drains
+	}
 	T, timeSplit, _ := t.plannedTimeSplit(child, forced)
 	if !timeSplit {
 		return false // a key split: cheap, magnetic-only, stays inline
@@ -178,6 +191,89 @@ func (t *Tree) deferSplit(child *node, forced bool, v record.Version) bool {
 	return true
 }
 
+// deferIndexSplit queues index node n for a background time split instead
+// of splitting it preemptively during Insert's descent. It returns true
+// when the incoming version v may proceed through the (now logically
+// overfull) index node without any split.
+//
+// The deferral is taken only when the planned split is a *pure* local
+// time split (§3.5) AND nothing below n on the insertion path will split
+// during this insert (the peek-descent guard). The guard is what keeps
+// the deferred tree byte-identical to the inline one: if a descendant
+// split ran first it would burn WORM runs or allocate magnetic pages in a
+// different order than the inline path (which splits n before
+// descending), and every address downstream would diverge. When the
+// guard holds, the insert touches only one leaf's versions, so the
+// node's content — and therefore the captured historical half — is
+// exactly what an inline split at mark time would have produced.
+func (t *Tree) deferIndexSplit(n *node, v record.Version) bool {
+	if t.size(n)+3*t.entryCap > t.mag.PageSize() {
+		return false // no physical headroom for postings from below
+	}
+	if _, queued := t.pending[n.addr.Off]; queued {
+		return true
+	}
+	if len(t.pending) >= t.pendingLimit {
+		return false // queue backpressure: split inline until the migrator drains
+	}
+	// Mirror splitIndex's decision: defer only a wanted, legal local time
+	// split. Key splits are cheap, magnetic-only, and stay inline (and the
+	// blocked-time-split case must run inline so markBlockingChildren
+	// fires).
+	magCount := 0
+	var minMagStart record.Timestamp = record.TimeInfinity
+	for _, e := range n.entries {
+		if e.isCurrent() {
+			magCount++
+			if e.rect.Start < minMagStart {
+				minMagStart = e.rect.Start
+			}
+		}
+	}
+	canTime := minMagStart > n.rect.Start && anyEntryBefore(n, minMagStart)
+	wantTime := float64(magCount)/float64(len(n.entries)) <= t.policy.IndexKeySplitFraction
+	if !wantTime || !canTime {
+		return false
+	}
+	if quiet, err := t.subtreeQuiet(n, v); err != nil || !quiet {
+		return false
+	}
+	t.pending[n.addr.Off] = &pendingMark{T: minMagStart}
+	t.newTickets = append(t.newTickets, PendingSplit{Page: n.addr.Off, T: minMagStart})
+	return true
+}
+
+// subtreeQuiet reports whether inserting v strictly below index node n
+// would split nothing on the way down: every node on the path absorbs
+// the insert (or a descendant's postings) without overflowing, and no
+// leaf on it awaits a forced split. It is the peek-descent guard of
+// deferIndexSplit and performs only reads.
+func (t *Tree) subtreeQuiet(n *node, v record.Version) (bool, error) {
+	vSize := v.EncodedSize()
+	for !n.leaf {
+		idx := findCurrentEntry(n, v.Key)
+		if idx < 0 {
+			return false, nil
+		}
+		child, err := t.readNode(n.entries[idx].child)
+		if err != nil {
+			return false, err
+		}
+		if child.leaf {
+			if t.marked[child.addr.Off] && hasCommitted(child) {
+				return false, nil
+			}
+			if t.size(child)+vSize+4 > t.cfg.LeafCapacity {
+				return false, nil
+			}
+		} else if t.size(child)+3*t.entryCap > t.cfg.IndexCapacity {
+			return false, nil
+		}
+		n = child
+	}
+	return true, nil
+}
+
 // CaptureSplit reads the queued leaf and encodes its historical half at
 // the split time recorded when it was marked. Call under at least a read
 // latch. ok is false when the ticket is stale (the leaf was split some
@@ -193,7 +289,30 @@ func (t *Tree) CaptureSplit(ps PendingSplit) (c *SplitCapture, ok bool, err erro
 		return nil, false, err
 	}
 	if !n.leaf {
-		return nil, false, nil
+		// Index-node ticket: capture the historical half of the §3.5
+		// local time split. A half containing a current (magnetic) entry
+		// means a concurrent split below posted a child whose interval
+		// reaches under T — the capture is stale, and burning it would
+		// violate the WORM's no-current-references invariant.
+		hist, _, _ := partitionEntries(n.entries, mk.T)
+		if len(hist) == 0 {
+			return nil, false, nil
+		}
+		for _, e := range hist {
+			if e.isCurrent() {
+				return nil, false, nil
+			}
+		}
+		histRect, _ := n.rect.SplitAtTime(mk.T)
+		histNode := &node{rect: histRect, leaf: false, entries: hist}
+		return &SplitCapture{
+			page:     ps.Page,
+			T:        mk.T,
+			forced:   mk.forced,
+			epoch:    mk.epoch,
+			lowKey:   n.rect.LowKey.Clone(),
+			histData: encodeNode(histNode),
+		}, true, nil
 	}
 	hist, _, _ := partitionVersions(n.versions, mk.T)
 	if len(hist) == 0 {
@@ -275,6 +394,12 @@ func (t *Tree) applyDirected(k record.Key, page uint64) error {
 			// grows the tree by one level.
 			return t.splitRoot()
 		}
+		if root.addr.Off == page {
+			// The queued index node IS the root; splitting it grows the
+			// tree by one level, exactly as the inline preemptive path
+			// would have.
+			return t.splitRoot()
+		}
 		if t.size(root)+3*t.entryCap <= t.cfg.IndexCapacity {
 			break
 		}
@@ -299,6 +424,11 @@ func (t *Tree) applyDirected(k record.Key, page uint64) error {
 			if child.addr.Off != page {
 				return fmt.Errorf("core: directed split target %d routed to leaf %d", page, child.addr.Off)
 			}
+			return t.splitChild(n, idx, false)
+		}
+		if child.addr.Off == page {
+			// The queued index node itself: split it here (splitNode
+			// consumes t.directed and installs the pre-burned half).
 			return t.splitChild(n, idx, false)
 		}
 		// Make room in the index child before descending, mirroring

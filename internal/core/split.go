@@ -17,15 +17,19 @@ import (
 // be time split at the next opportunity" optimization.
 func (t *Tree) splitNode(n *node, forced bool) ([]entry, error) {
 	delete(t.marked, n.addr.Off)
-	if d := t.directed; d != nil && !d.done && n.leaf && n.addr.Off == d.page {
+	if d := t.directed; d != nil && !d.done && n.addr.Off == d.page {
 		// Background migrator swap: the historical half was already
 		// burned off-latch; install it instead of migrating inline.
 		d.done = true
 		delete(t.pending, n.addr.Off)
-		if d.forced {
-			t.stats.ForcedTimeSplits++
+		burned := &burnedNode{addr: d.addr, data: d.data, trusted: d.trusted}
+		if n.leaf {
+			if d.forced {
+				t.stats.ForcedTimeSplits++
+			}
+			return t.timeSplitLeafWith(n, d.T, burned)
 		}
-		return t.timeSplitLeafWith(n, d.T, &burnedNode{addr: d.addr, data: d.data, trusted: d.trusted})
+		return t.timeSplitIndexWith(n, d.T, burned)
 	}
 	if _, queued := t.pending[n.addr.Off]; queued {
 		// The node was queued for a background time split but is being
@@ -479,14 +483,16 @@ func (t *Tree) markBlockingChildren(n *node) {
 	}
 }
 
-// timeSplitIndex performs the local index time split of §3.5 (Figure 8):
-// everything before T — all of it referencing historical nodes — migrates
-// into one historical index node; entries spanning T are clipped into both
-// halves (the redundant index entries all point to historical nodes).
-func (t *Tree) timeSplitIndex(n *node, T record.Timestamp) ([]entry, error) {
-	histRect, curRect := n.rect.SplitAtTime(T)
-	var hist, cur []entry
-	for _, e := range n.entries {
+// partitionEntries applies the local index time split of §3.5 (Figure 8)
+// at time T to an index node's entries: everything before T goes in the
+// historical half (clipped at T), everything after T in the current half,
+// and entries spanning T are clipped into both (the redundant count).
+// Both halves preserve the input order, so the encoding of the historical
+// node is a deterministic function of (entries, T) — which is what lets
+// the background migrator burn the historical half off-latch and later
+// verify, byte for byte, that the burn still matches the node.
+func partitionEntries(entries []entry, T record.Timestamp) (hist, cur []entry, redundant int) {
+	for _, e := range entries {
 		spansT := e.rect.Start < T && e.rect.End > T
 		if e.rect.Start < T {
 			he := e
@@ -503,16 +509,51 @@ func (t *Tree) timeSplitIndex(n *node, T record.Timestamp) ([]entry, error) {
 			cur = append(cur, ce)
 		}
 		if spansT {
-			t.stats.RedundantIndexEntries++
+			redundant++
 		}
 	}
+	return hist, cur, redundant
+}
+
+// timeSplitIndex performs the local index time split of §3.5 (Figure 8):
+// everything before T — all of it referencing historical nodes — migrates
+// into one historical index node; entries spanning T are clipped into both
+// halves (the redundant index entries all point to historical nodes).
+func (t *Tree) timeSplitIndex(n *node, T record.Timestamp) ([]entry, error) {
+	return t.timeSplitIndexWith(n, T, nil)
+}
+
+// timeSplitIndexWith is timeSplitIndex with an optional pre-burned
+// historical node: nil migrates inline (holding whatever latch the caller
+// holds for the duration of the WORM append); non-nil installs the
+// already-burned node after verifying it still encodes exactly the node's
+// historical half.
+func (t *Tree) timeSplitIndexWith(n *node, T record.Timestamp, burned *burnedNode) ([]entry, error) {
+	histRect, curRect := n.rect.SplitAtTime(T)
+	hist, cur, redundant := partitionEntries(n.entries, T)
+	t.stats.RedundantIndexEntries += uint64(redundant)
 	if len(hist) == 0 {
 		return nil, fmt.Errorf("core: index time split of %s at %s is empty", n.addr, T)
 	}
 	histNode := &node{rect: histRect, leaf: false, entries: hist}
-	histAddr, err := t.migrate(histNode)
-	if err != nil {
-		return nil, err
+	var histAddr storage.Addr
+	if burned != nil {
+		// The epoch/re-dirty check, exactly as timeSplitLeafWith: a node
+		// rewritten since its capture re-verifies the burn byte for byte.
+		if !burned.trusted && !bytes.Equal(encodeNode(histNode), burned.data) {
+			return nil, errBurnMismatch
+		}
+		histAddr = burned.addr
+		// The burn itself happened off-latch; account for it now, under
+		// the latch, exactly as migrate would have.
+		t.stats.HistoricalNodes++
+		t.stats.BytesMigrated += uint64(len(burned.data))
+	} else {
+		var err error
+		histAddr, err = t.migrate(histNode)
+		if err != nil {
+			return nil, err
+		}
 	}
 	t.stats.IndexTimeSplits++
 	n.rect = curRect

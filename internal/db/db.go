@@ -117,7 +117,10 @@
 //     before the burn is trusted (the epoch/re-dirty check).
 //   - A lost race (the leaf ran out of physical page headroom and split
 //     inline first) abandons the burned node as unreferenced write-once
-//     waste — Stats().Migrator.Abandoned — never links it in.
+//     waste — Stats().Migrator.Abandoned — never links it in. Abandoned
+//     payload counts as waste, not payload, in Stats().Device
+//     (WastedBytes/DeadBytes), and on paged devices DB.Compact reclaims
+//     it: the database does not age badly under lost races.
 //   - Checkpoints fence the workers around the boundary, so v3 dumps
 //     and v4 page captures stay boundary-exact. Marks are not durable:
 //     a crash drops them and future inserts re-create them.
@@ -180,6 +183,7 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -264,6 +268,12 @@ type Config struct {
 	// disables background checkpointing (DB.Checkpoint still works).
 	// Durable mode only.
 	CheckpointBytes int64
+	// CompactDeadBytes triggers a background WORM compaction (see
+	// DB.Compact) once the payload of unreferenced write-once runs —
+	// Stats().Device.DeadBytes: abandoned background migrations, crash
+	// orphans — exceeds this many bytes. 0 disables background
+	// compaction (DB.Compact still works). Paged durable mode only.
+	CompactDeadBytes int64
 	// Secondaries registers secondary indexes at open time, equivalent
 	// to calling CreateSecondary for each before any writes. Reopening
 	// a durable database that had secondary indexes REQUIRES the same
@@ -316,6 +326,23 @@ type DB struct {
 	// mig is the background time-split migrator
 	// (Config.BackgroundMigration); nil when migration is inline.
 	mig *migrator
+
+	// deadBytes is the payload carried by write-once runs nothing
+	// references — abandoned background migrations, post-crash orphans —
+	// i.e. capacity the device counters still report as payload but that
+	// no read path can ever reach. Carried across reopens in the v4
+	// checkpoint (wal.PagedMeta.DeadBytes), folded into
+	// Stats().Device.WastedBytes, zeroed by a completed compaction.
+	deadBytes atomic.Uint64
+	// Maintenance accounting, atomic because Stats() reads it without
+	// cpMu: checkpoint pause tracking (quiesceTimed) and compaction
+	// counters (Compact). See CheckpointStats / CompactionStats.
+	cpCount, cpPauseNanos, cpLastPause, cpMaxPause                   atomic.Uint64
+	coRounds, coAborted, coRunsMoved, coMovedBytes, coReclaimedBytes atomic.Uint64
+	coPauseNanos                                                     atomic.Uint64
+	// coEvery is the background compaction trigger: a maintenance tick
+	// compacts once deadBytes exceeds it (<=0 disables).
+	coEvery int64
 
 	// secMu latches the secondary indexes: write-held while commit
 	// posting applies index maintenance, read-held by lookups.
@@ -730,10 +757,15 @@ type DeviceStats struct {
 	// × sector size); BurnedBytes is its alias in the paper's
 	// burned-vs-payload framing.
 	SpaceO uint64
-	// PayloadBytes of SpaceO hold real data; WastedBytes is the burned
-	// remainder (partial sectors, orphaned post-crash burns).
+	// PayloadBytes of SpaceO hold live data; WastedBytes is the burned
+	// remainder: partial sectors plus DeadBytes. DeadBytes is the
+	// payload of runs nothing references — abandoned background
+	// migrations, orphaned post-crash burns — which the raw device
+	// counters report as payload but which no read path can reach, so
+	// here it counts as waste. Compaction (DB.Compact) reclaims it.
 	PayloadBytes uint64
 	WastedBytes  uint64
+	DeadBytes    uint64
 	// Utilization is PayloadBytes / SpaceO (1 when nothing is burned).
 	Utilization float64
 	// DirtyPages is the current size of the buffer pool's dirty-page
@@ -766,6 +798,12 @@ type Stats struct {
 	// burns, and the split-under-latch time it exists to shrink
 	// (SplitLatchNanos is reported for inline databases too).
 	Migrator MigratorStats
+	// Checkpoint is the checkpoint pause accounting: how long, in
+	// total and per checkpoint, commit posting was quiesced for
+	// boundary captures. The fuzzy paged capture exists to shrink it.
+	Checkpoint CheckpointStats
+	// Compaction is the WORM compaction accounting (DB.Compact).
+	Compaction CompactionStats
 	// Secondaries maps index name to its tree stats.
 	Secondaries map[string]core.Stats
 }
@@ -790,13 +828,39 @@ func (d *DB) Stats() Stats {
 	st.Migrator.SplitLatchNanos = latchNanos
 	st.Migrator.InlineFallbacks = fallbacks
 	st.Migrator.PendingNodes = pending
+	st.Checkpoint = CheckpointStats{
+		Checkpoints:    d.cpCount.Load(),
+		PauseNanos:     d.cpPauseNanos.Load(),
+		LastPauseNanos: d.cpLastPause.Load(),
+		MaxPauseNanos:  d.cpMaxPause.Load(),
+	}
+	st.Compaction = CompactionStats{
+		Rounds:         d.coRounds.Load(),
+		Aborted:        d.coAborted.Load(),
+		RunsMoved:      d.coRunsMoved.Load(),
+		MovedBytes:     d.coMovedBytes.Load(),
+		ReclaimedBytes: d.coReclaimedBytes.Load(),
+		PauseNanos:     d.coPauseNanos.Load(),
+	}
+	// Reclassify dead payload (runs nothing references) as waste: the
+	// device counters cannot know a burned run became unreachable, the
+	// engine can — abandoned migrations and reopen orphans feed
+	// d.deadBytes, a completed compaction zeroes it.
+	dead := d.deadBytes.Load()
+	worm := st.WORM
+	if dead > worm.PayloadBytes {
+		dead = worm.PayloadBytes
+	}
+	worm.PayloadBytes -= dead
+	worm.WastedBytes += dead
 	st.Device = DeviceStats{
 		Paged:        d.pf != nil,
 		SpaceM:       st.Magnetic.BytesInUse(d.mag.PageSize()),
-		SpaceO:       st.WORM.BytesBurned(d.worm.SectorSize()),
-		PayloadBytes: st.WORM.PayloadBytes,
-		WastedBytes:  st.WORM.WastedBytes,
-		Utilization:  st.WORM.Utilization(d.worm.SectorSize()),
+		SpaceO:       worm.BytesBurned(d.worm.SectorSize()),
+		PayloadBytes: worm.PayloadBytes,
+		WastedBytes:  worm.WastedBytes,
+		DeadBytes:    dead,
+		Utilization:  worm.Utilization(d.worm.SectorSize()),
 		DirtyPages:   st.Buffer.DirtyPages,
 	}
 	d.secMu.RLock()

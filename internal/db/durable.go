@@ -73,10 +73,6 @@ func lockDir(dir string) (*os.File, error) {
 // checkpoint when Config.CheckpointBytes is 0.
 const defaultCheckpointBytes = 4 << 20
 
-// checkpointPollInterval is how often the background checkpointer
-// inspects the WAL size.
-const checkpointPollInterval = 100 * time.Millisecond
-
 // openDurable opens (creating or recovering) the durable database in
 // cfg.Dir. Called from Open with defaults applied.
 func openDurable(cfg Config) (*DB, error) {
@@ -147,7 +143,7 @@ func openDurable(cfg Config) (*DB, error) {
 			}
 		}
 	}
-	lastLSN, nextSeg, err := d.replayLog(info.LSN)
+	lastLSN, nextSeg, err := d.replayLog(info)
 	if err != nil {
 		return nil, err
 	}
@@ -182,10 +178,14 @@ func openDurable(cfg Config) (*DB, error) {
 	if d.cpEvery == 0 {
 		d.cpEvery = defaultCheckpointBytes
 	}
-	if d.cpEvery > 0 {
+	d.coEvery = cfg.CompactDeadBytes
+	if d.pf == nil {
+		d.coEvery = 0 // compaction is a paged-device job
+	}
+	if d.cpEvery > 0 || d.coEvery > 0 {
 		d.stopCp = make(chan struct{})
 		d.cpDone.Add(1)
-		go d.backgroundCheckpointer()
+		go d.maintenanceLoop()
 	}
 	if cfg.BackgroundMigration {
 		// Started only now, after recovery: replayed inserts split
@@ -269,17 +269,29 @@ func (d *DB) loadCheckpoint() error {
 }
 
 // replayLog replays every WAL segment after the checkpoint boundary.
-// Boundary-exact checkpoints make replay exact too: every frame past
-// the boundary is absent from the reloaded store and is applied
-// unconditionally, in LSN (= global commit-time) order. It returns the
-// last intact LSN and the segment number a fresh log should start at.
-func (d *DB) replayLog(afterLSN uint64) (lastLSN, nextSeg uint64, err error) {
+// For logical (v3) checkpoints the boundary is one LSN and every frame
+// past it is applied unconditionally, in LSN (= global commit-time)
+// order. A fuzzy paged (v4) checkpoint has per-tree boundaries instead:
+// shard i's image was captured at GroupLSNs[i] and the secondary
+// indexes at SecLSN (>= every group LSN, they are captured last), all
+// >= the header LSN the replay starts from — so each version applies to
+// its primary shard only past that shard's boundary, and drives the
+// secondary-index hook only past SecLSN. Reload + tail replay stays
+// exactly-once per tree. It returns the last intact LSN and the segment
+// number a fresh log should start at.
+func (d *DB) replayLog(info wal.CheckpointInfo) (lastLSN, nextSeg uint64, err error) {
+	var group []uint64
+	secLSN := info.LSN
+	if p := info.Paged; p != nil && len(p.GroupLSNs) == len(d.store.shards) {
+		group = p.GroupLSNs
+		secLSN = p.SecLSN
+	}
 	segs, err := wal.Segments(d.dir)
 	if err != nil {
 		return 0, 0, err
 	}
 	nextSeg = 1
-	last := afterLSN
+	last := info.LSN
 	for _, seg := range segs {
 		if seg.Index >= nextSeg {
 			nextSeg = seg.Index + 1
@@ -289,23 +301,42 @@ func (d *DB) replayLog(afterLSN uint64) (lastLSN, nextSeg uint64, err error) {
 				return fmt.Errorf("db: recovery gap: LSN %d follows %d (missing segment?)", lsn, last)
 			}
 			last = lsn
-			return d.replayCommit(rec)
+			return d.replayCommit(lsn, rec, group, secLSN)
 		})
 		if err != nil {
 			return 0, 0, err
 		}
 		if segLast > last {
-			// Frames past `last` were skipped as <= afterLSN; keep the
-			// larger of the two as the resume point.
+			// Frames past `last` were skipped as <= the boundary; keep
+			// the larger of the two as the resume point.
 			last = segLast
 		}
 	}
 	return last, nextSeg, nil
 }
 
-// replayCommit redoes one logged transaction.
-func (d *DB) replayCommit(rec txn.CommitRecord) error {
+// replayCommit redoes one logged transaction, filtered by the fuzzy
+// capture boundaries (group/secLSN; group is nil for logical replay,
+// which applies everything).
+func (d *DB) replayCommit(lsn uint64, rec txn.CommitRecord, group []uint64, secLSN uint64) error {
 	for _, v := range rec.Versions {
+		if group != nil {
+			if lsn <= group[record.ShardOfKey(v.Key, len(d.store.shards))] {
+				// The shard's image was captured past this record: the
+				// version is already in it — and in the secondaries too,
+				// since SecLSN >= every group LSN.
+				continue
+			}
+			if lsn <= secLSN {
+				// The primary shard needs it, the secondary indexes
+				// (captured later) already saw it: insert without the
+				// index hook.
+				if err := d.store.Insert(v); err != nil {
+					return fmt.Errorf("db: replay of txn %d at %s: %w", rec.TxnID, rec.Time, err)
+				}
+				continue
+			}
+		}
 		if err := d.applyCommitted(v); err != nil {
 			return fmt.Errorf("db: replay of txn %d at %s: %w", rec.TxnID, rec.Time, err)
 		}
@@ -375,12 +406,46 @@ func (d *DB) Checkpoint() error {
 	// re-created by future inserts).
 	d.mig.pause()
 	defer d.mig.resume()
+	return d.checkpointLocked()
+}
+
+// checkpointLocked runs the mode-appropriate checkpoint — caller holds
+// cpMu with the migrator fenced — and accounts the per-checkpoint pause
+// (the sum of its quiesce windows) into Stats().Checkpoint.
+func (d *DB) checkpointLocked() error {
+	before := d.cpPauseNanos.Load()
+	var err error
 	if d.pf != nil {
-		return d.checkpointPagedLocked()
+		err = d.checkpointPagedLocked()
+	} else {
+		err = d.checkpointLogicalLocked()
 	}
+	if err == nil {
+		pause := d.cpPauseNanos.Load() - before
+		d.cpCount.Add(1)
+		d.cpLastPause.Store(pause)
+		if pause > d.cpMaxPause.Load() {
+			d.cpMaxPause.Store(pause)
+		}
+	}
+	return err
+}
+
+// quiesceTimed is tm.Quiesce plus pause accounting: the commit-posting
+// stall a checkpoint inflicts on writers is the sum of its quiesce
+// windows, measured here and reported by Stats().Checkpoint.
+func (d *DB) quiesceTimed(fn func() error) error {
+	start := time.Now()
+	err := d.tm.Quiesce(fn)
+	d.cpPauseNanos.Add(uint64(time.Since(start)))
+	return err
+}
+
+// checkpointLogicalLocked is the v3 (logical-dump) checkpoint body.
+func (d *DB) checkpointLogicalLocked() error {
 	var boundary uint64
 	var clock record.Timestamp
-	err := d.tm.Quiesce(func() error {
+	err := d.quiesceTimed(func() error {
 		// Under the leadership token no commit is mid-posting: every
 		// record at or below the boundary is fully in the store, and
 		// the clock cannot move.
@@ -412,39 +477,7 @@ func (d *DB) Checkpoint() error {
 	return nil
 }
 
-// backgroundCheckpointer checkpoints whenever the WAL has grown past
-// the configured threshold since the last checkpoint. A checkpoint
-// error is sticky (surfaced by Close) and stops the loop: the log
-// simply grows until an operator intervenes, which is strictly safer
-// than retrying against a misbehaving device.
-func (d *DB) backgroundCheckpointer() {
-	defer d.cpDone.Done()
-	ticker := time.NewTicker(checkpointPollInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-d.stopCp:
-			return
-		case <-ticker.C:
-			d.cpMu.Lock()
-			due := int64(d.wal.Stats().Bytes-d.cpLastBytes) >= d.cpEvery
-			d.cpMu.Unlock()
-			if !due {
-				continue
-			}
-			if err := d.Checkpoint(); err != nil {
-				d.cpMu.Lock()
-				if d.cpErr == nil {
-					d.cpErr = err
-				}
-				d.cpMu.Unlock()
-				return
-			}
-		}
-	}
-}
-
-// Close stops the background checkpointer and the background migrator,
+// Close stops the maintenance scheduler and the background migrator,
 // then closes the write-ahead log. Acknowledged commits are already
 // durable (group commit fsyncs before acknowledging), so Close flushes
 // nothing; it exists to release the directory cleanly.

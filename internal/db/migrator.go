@@ -88,6 +88,11 @@ type MigratorStats struct {
 	CaptureNanos uint64
 	BurnNanos    uint64
 	SwapNanos    uint64
+	// Err is the sticky first capture/burn/swap failure, if any. The
+	// workers keep consuming tickets past it (a failed ticket leaves a
+	// marked-but-unsplit leaf — a valid tree state), but the error is
+	// never dropped: DrainMigrations and Close return it too.
+	Err error
 }
 
 // migrator owns the per-shard background workers. All mutable state is
@@ -118,6 +123,18 @@ type migrator struct {
 	captureNanos   uint64
 	burnNanos      uint64
 	swapNanos      uint64
+
+	// onAbandon, when set, is told the payload bytes of every abandoned
+	// burn: the DB routes them into its dead-byte account so the waste
+	// shows up in Stats().Device and compaction can reclaim it. Set once
+	// before the first ticket can flow (between newMigrator and wiring
+	// the store), never changed.
+	onAbandon func(bytes uint64)
+	// burnHook, when set, runs before each ticket's burn and can fail
+	// it: the fault-injection seam tests use to exercise the sticky
+	// error path without a misbehaving device. Same write-once
+	// discipline as onAbandon.
+	burnHook func(shard int, ps core.PendingSplit) error
 
 	wg sync.WaitGroup
 }
@@ -213,6 +230,11 @@ func (m *migrator) process(i int, ps core.PendingSplit) error {
 	}
 
 	start = time.Now()
+	if h := m.burnHook; h != nil {
+		if err := h(i, ps); err != nil {
+			return fmt.Errorf("db: migrator shard %d burn: %w", i, err)
+		}
+	}
 	addr, err := sh.tree.BurnCapture(cap)
 	burnNanos := uint64(time.Since(start))
 	if err != nil {
@@ -239,6 +261,9 @@ func (m *migrator) process(i int, ps core.PendingSplit) error {
 	} else {
 		m.abandoned++
 		m.abandonedBytes += uint64(cap.HistBytes())
+		if m.onAbandon != nil {
+			m.onAbandon(uint64(cap.HistBytes()))
+		}
 	}
 	m.mu.Unlock()
 	return nil
@@ -372,6 +397,7 @@ func (m *migrator) statsSnapshot() MigratorStats {
 		CaptureNanos:     m.captureNanos,
 		BurnNanos:        m.burnNanos,
 		SwapNanos:        m.swapNanos,
+		Err:              m.err,
 	}
 }
 
@@ -380,7 +406,11 @@ func (m *migrator) statsSnapshot() MigratorStats {
 // tickets created by concurrent writers are drained too if they arrive
 // before the queue empties). It is how an unload, a test, or an
 // equivalence check forces every deferred historical node onto the
-// write-once device. A no-op for databases without BackgroundMigration.
+// write-once device. It returns the migrator's sticky error — the first
+// capture/burn/swap failure ever seen, this drain's or an earlier
+// worker's (also surfaced as Stats().Migrator.Err and by Close) — so a
+// caller that needs every node durably migrated finds out
+// deterministically. A no-op for databases without BackgroundMigration.
 func (d *DB) DrainMigrations() error {
 	return d.mig.drain()
 }
@@ -393,5 +423,8 @@ func (d *DB) startMigrator() {
 		sh.tree.SetDeferTimeSplits(true)
 	}
 	d.mig = newMigrator(d.store)
+	// Wire the dead-byte account before any ticket can flow (tickets
+	// only arrive once d.store.mig is set below).
+	d.mig.onAbandon = func(b uint64) { d.deadBytes.Add(b) }
 	d.store.mig = d.mig
 }

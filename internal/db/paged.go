@@ -16,14 +16,23 @@ package db
 //
 //   - A checkpoint pre-flushes dirty pages flush-group by flush-group
 //     (one group per shard, one for the secondary indexes) without any
-//     pause, then briefly holds the commit leadership token plus every
-//     shard's read latch to rotate the WAL and capture the boundary:
-//     the remaining dirty pages (memory copies only — no I/O under the
-//     latches), every tree's image, the page allocator, the WORM
-//     burned count, and the in-flight write-lock set. The token stops
-//     commit posting; the latches stop in-flight transactions' pending
-//     inserts — together they freeze every writer of trees, pages, and
-//     burns, so the capture is page-consistent with the rotation LSN.
+//     pause, then captures the boundary FUZZILY, one flush group at a
+//     time: the WAL is rotated under the commit token alone, and then
+//     each shard is captured under the token plus that ONE shard's read
+//     latch — its boundary LSN (v4 meta GroupLSNs[i]), its tree image,
+//     its dirty pages (memory copies only), and its slice of the
+//     in-flight write-lock set. The secondary indexes are captured
+//     last, the same way, under the secondary latch (SecLSN), together
+//     with the page allocator and the WORM burned count. No instant
+//     quiesces the whole database: the pause a writer can observe is
+//     one shard's capture, not all of them. Replay compensates for the
+//     skew — a logged version applies to its primary shard only past
+//     that shard's GroupLSN, and to the secondaries only past SecLSN —
+//     so reload + tail replay stays exactly-once per tree. The skew
+//     windows can leak bounded garbage on a crash (a page allocated, or
+//     a run burned, after its tree's capture but before the allocator/
+//     burned capture): allocated-but-unreferenced pages and dead burns,
+//     never lost data; compaction reclaims the dead burns.
 //
 //   - The captured pages are flushed, both files fsynced, and the v4
 //     checkpoint metadata durably installed (tmp + fsync + rename).
@@ -119,8 +128,8 @@ func openPaged(cfg Config, info wal.CheckpointInfo, found bool) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	bf, _, err := pagestore.OpenBurn(pagestore.BurnConfig{Path: burnPath, SectorSize: m.SectorSize, Wrap: cfg.blockWrap},
-		m.Burned, m.WormStats)
+	bf, rep, err := pagestore.OpenBurn(pagestore.BurnConfig{Path: burnPath, SectorSize: m.SectorSize, Wrap: cfg.blockWrap},
+		m.Burned, m.WormStats, m.Epoch)
 	if err != nil {
 		pf.Close()
 		return nil, err
@@ -128,6 +137,10 @@ func openPaged(cfg Config, info wal.CheckpointInfo, found bool) (*DB, error) {
 	d.pf, d.bf = pf, bf
 	d.mag, d.worm = pf, bf
 	d.epoch = m.Epoch
+	// Dead-burn accounting survives the reopen, and the clipped tail's
+	// orphans (burns acknowledged by no checkpoint) join it: both are
+	// write-once payload nothing references, reclaimable by compaction.
+	d.deadBytes.Store(m.DeadBytes + rep.OrphanPayloadBytes)
 	d.pool = buffer.NewWritebackPool(pf, cfg.BufferPages)
 	trees := make([]*core.Tree, len(m.Shards))
 	for i, img := range m.Shards {
@@ -195,7 +208,9 @@ func (d *DB) flushPages(copies []buffer.DirtyPage) error {
 // checkpointPagedLocked is DB.Checkpoint for the paged mode, called
 // under cpMu. Its cost is O(dirty pages), independent of database size:
 // nothing is dumped, only the dirty-page table is flushed and a
-// metadata-only checkpoint installed.
+// metadata-only checkpoint installed. The boundary capture is fuzzy —
+// per flush group, never whole-database; see the package comment's
+// protocol and the GroupLSNs/SecLSN fields of wal.PagedMeta.
 func (d *DB) checkpointPagedLocked() error {
 	// Fuzzy pre-flush, flush group by flush group (shards, then the
 	// secondary indexes — captured in ONE pool walk), with commits
@@ -212,60 +227,97 @@ func (d *DB) checkpointPagedLocked() error {
 		return err
 	}
 
-	var boundary uint64
-	var clock record.Timestamp
-	var copies []buffer.DirtyPage
+	nShards := len(d.store.shards)
 	meta := wal.PagedMeta{
 		Epoch:      d.epoch + 1,
 		PageSize:   d.pf.PageSize(),
 		SectorSize: d.bf.SectorSize(),
+		GroupLSNs:  make([]uint64, nShards),
+		Shards:     make([]core.TreeImage, nShards),
 	}
-	err := d.tm.Quiesce(func() error {
-		// Under the leadership token no commit is mid-posting — but
-		// in-flight transactions still write pending versions into the
-		// trees under shard write latches (§4: uncommitted data lives,
-		// erasable, in the current database), and those writes alloc
-		// pages, split nodes, and burn WORM sectors. Holding every
-		// shard's read latch on top of the token freezes all of it:
-		// the capture below is page-consistent with the rotation LSN.
-		// Lock order (token, then latches) matches commit posting, so
-		// this cannot deadlock; only memory copies happen under the
-		// latches — the flush I/O runs after everything is released,
-		// and any page re-dirtied by then is detected by its write
-		// epoch and left dirty.
-		for _, sh := range d.store.shards {
-			sh.mu.RLock()
-		}
-		d.secMu.RLock()
-		defer func() {
-			d.secMu.RUnlock()
-			for _, sh := range d.store.shards {
-				sh.mu.RUnlock()
-			}
-		}()
+
+	// Rotate first, under the token alone: every group LSN captured
+	// below is >= the rotation point, so the rotation LSN is the
+	// checkpoint header's LSN (segment retention, replay start) while
+	// the per-group LSNs make replay exactly-once per tree.
+	var boundary uint64
+	err := d.quiesceTimed(func() error {
 		lsn, err := d.wal.Rotate()
+		boundary = lsn
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// Capture shard by shard: the token stops commit posting (so the
+	// group LSN is posting-exact — appended implies fully in the store),
+	// and this ONE shard's read latch stops its in-flight transactions'
+	// pending inserts. Writers of every other shard run free; any page
+	// they re-dirty is detected by its write epoch and stays dirty. The
+	// flush I/O runs after the latch is released.
+	for i := range d.store.shards {
+		i, sh := i, d.store.shards[i]
+		var copies []buffer.DirtyPage
+		err := d.quiesceTimed(func() error {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			meta.GroupLSNs[i] = d.wal.LastLSN()
+			meta.Shards[i] = sh.tree.Image()
+			copies = d.pool.CaptureDirty(i)
+			// This shard's slice of the in-flight write-lock set: the
+			// captured pages may hold those transactions' pending
+			// versions, and if this boundary is ever recovered they are
+			// dead — recovery erases them (see openPaged). A lock
+			// released after this instant is either aborted (the erase
+			// finds nothing or removes a version the flushed page still
+			// shows) or committed past GroupLSNs[i] (erased, then
+			// replayed).
+			for _, p := range d.tm.PendingWrites() {
+				if record.ShardOfKey(p.Key, nShards) == i {
+					meta.Pending = append(meta.Pending, p)
+				}
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		boundary = lsn
-		clock = d.tm.Now()
-		copies = d.pool.CaptureDirty(buffer.NoTag)
-		meta.Alloc = d.pf.AllocState()
-		meta.MagStats = d.pf.Stats()
-		meta.Burned = d.bf.Burned()
-		meta.WormStats = d.bf.Stats()
-		meta.Shards = make([]core.TreeImage, len(d.store.shards))
-		for i, sh := range d.store.shards {
-			meta.Shards[i] = sh.tree.Image()
+		if err := d.flushPages(copies); err != nil {
+			return err
 		}
+	}
+
+	// The secondary indexes are captured last — SecLSN >= every group
+	// LSN, which replay relies on — together with everything whose
+	// capture must not precede any tree image: the page allocator (a
+	// page referenced by an image must be allocated in it) and the WORM
+	// burned count (a run referenced by an image must be below it).
+	// Captures after an image but before this instant leak at most
+	// bounded garbage on a crash: an allocated-but-unreferenced page, a
+	// dead burn for compaction to reclaim — never data.
+	var clock record.Timestamp
+	var copies []buffer.DirtyPage
+	err = d.quiesceTimed(func() error {
+		d.secMu.RLock()
+		defer d.secMu.RUnlock()
+		meta.SecLSN = d.wal.LastLSN()
 		meta.Secondaries = make(map[string]core.TreeImage)
 		for name, s := range d.secondaries {
 			meta.Secondaries[name] = s.index.Image()
 		}
-		// The flushed pages may hold these transactions' pending
-		// versions; if this boundary is ever recovered, they are dead
-		// and recovery erases them (see openPaged).
-		meta.Pending = d.tm.PendingWrites()
+		// Exact-tag captures: shard pages re-dirtied since their own
+		// group's boundary must stay dirty for the NEXT checkpoint —
+		// flushing them here would install commits past their shard's
+		// GroupLSN, which replay then re-applies (duplicates).
+		copies = d.pool.CaptureDirtyExact(d.secTag)
+		copies = append(copies, d.pool.CaptureDirtyExact(buffer.NoTag)...)
+		clock = d.tm.Now()
+		meta.Alloc = d.pf.AllocState()
+		meta.MagStats = d.pf.Stats()
+		meta.Burned = d.bf.Burned()
+		meta.WormStats = d.bf.Stats()
+		meta.DeadBytes = d.deadBytes.Load()
 		return nil
 	})
 	if err != nil {

@@ -269,3 +269,28 @@ func TestCheckpointDuration(t *testing.T) {
 		t.Fatalf("no duration measured: %+v", large)
 	}
 }
+
+func TestE15Maintenance(t *testing.T) {
+	res, tab, err := E15Maintenance(t.TempDir(), 4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1200 || res.Checkpoints == 0 {
+		t.Fatalf("run shape: %+v", res)
+	}
+	// The aging protocol (close without checkpoint, reopen, replay
+	// re-burns) must leave dead payload, and compaction must hand
+	// capacity back with utilization not degraded.
+	if res.DeadBytes == 0 || res.ReclaimedBytes == 0 {
+		t.Fatalf("nothing reclaimed: %+v", res)
+	}
+	if res.UtilAfter < res.UtilBefore || res.UtilAfter > 1 {
+		t.Fatalf("utilization did not recover: %+v", res)
+	}
+	if res.AvgPauseMillis <= 0 || res.MaxPauseMillis < res.AvgPauseMillis {
+		t.Fatalf("pause accounting: %+v", res)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("table: %+v", tab)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -25,12 +26,18 @@ type BurnConfig struct {
 	Wrap func(storage.BlockFile) storage.BlockFile
 }
 
+func (c BurnConfig) journalPath() string { return c.Path + ".journal" }
+
 // ReopenReport says what OpenBurn found past the checkpoint boundary.
 type ReopenReport struct {
 	// OrphanSectors were burned intact after the boundary but are
 	// referenced by nothing the boundary image knows: kept as burned
 	// waste, exactly as unacknowledged burns on write-once media are.
 	OrphanSectors uint64
+	// OrphanPayloadBytes is the payload carried by those orphan sectors:
+	// dead bytes nothing will ever reference, reclaimable only by a
+	// compaction.
+	OrphanPayloadBytes uint64
 	// Clipped reports whether a torn tail was truncated away, and
 	// ClippedAt the first bad sector.
 	Clipped   bool
@@ -45,13 +52,15 @@ type ReopenReport struct {
 // torn frame. It is safe for concurrent use.
 type BurnFile struct {
 	mu         sync.Mutex
+	cfg        BurnConfig
 	f          storage.BlockFile
 	sectorSize int
-	reserved   uint64 // == sectors burned; appends only
+	reserved   uint64 // == sectors burned; appends only (except compaction)
 	stats      storage.WORMStats
 }
 
-// CreateBurn makes a fresh, empty burn file.
+// CreateBurn makes a fresh, empty burn file, removing any stale
+// compaction journal.
 func CreateBurn(cfg BurnConfig) (*BurnFile, error) {
 	if cfg.SectorSize <= 0 {
 		return nil, fmt.Errorf("pagestore: sector size %d", cfg.SectorSize)
@@ -64,16 +73,23 @@ func CreateBurn(cfg BurnConfig) (*BurnFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("pagestore: %s: write header: %w", cfg.Path, err)
 	}
-	return &BurnFile{f: f, sectorSize: cfg.SectorSize}, nil
+	if err := os.Remove(cfg.journalPath()); err != nil && !os.IsNotExist(err) {
+		f.Close()
+		return nil, err
+	}
+	return &BurnFile{cfg: cfg, f: f, sectorSize: cfg.SectorSize}, nil
 }
 
 // OpenBurn reattaches to an existing burn file. The installed checkpoint
-// guarantees `durable` sectors (fsynced at the boundary) with cumulative
-// stats `base`; the tail past them was never acknowledged, so it is
-// verified frame by frame — intact sectors stay as burned waste
-// (write-once media cannot un-burn), and the file is truncated at the
-// first torn or corrupt frame.
-func OpenBurn(cfg BurnConfig, durable uint64, base storage.WORMStats) (*BurnFile, ReopenReport, error) {
+// (epoch `epoch`) guarantees `durable` sectors (fsynced at the boundary)
+// with cumulative stats `base`; the tail past them was never
+// acknowledged, so it is verified frame by frame — intact sectors stay
+// as burned waste (write-once media cannot un-burn), and the file is
+// truncated at the first torn or corrupt frame. A compaction journal
+// whose epoch matches is replayed first (the compaction's checkpoint was
+// never installed, so the rewritten region is restored to the boundary
+// image); a stale journal is discarded.
+func OpenBurn(cfg BurnConfig, durable uint64, base storage.WORMStats, epoch uint64) (*BurnFile, ReopenReport, error) {
 	f, err := openBlock(cfg.Path, false, cfg.Wrap)
 	if err != nil {
 		return nil, ReopenReport{}, fmt.Errorf("pagestore: open %s: %w", cfg.Path, err)
@@ -92,7 +108,10 @@ func OpenBurn(cfg BurnConfig, durable uint64, base storage.WORMStats) (*BurnFile
 		return nil, ReopenReport{}, fmt.Errorf("pagestore: %s has %d-byte sectors, config asks for %d",
 			cfg.Path, size, cfg.SectorSize)
 	}
-	b := &BurnFile{f: f, sectorSize: size, reserved: durable, stats: base}
+	b := &BurnFile{cfg: cfg, f: f, sectorSize: size, reserved: durable, stats: base}
+	if err := b.recoverCompactionJournal(epoch); err != nil {
+		return nil, ReopenReport{}, err
+	}
 	var rep ReopenReport
 	buf := make([]byte, burnFrameHeader+size)
 	for s := durable; ; s++ {
@@ -118,6 +137,7 @@ func OpenBurn(cfg BurnConfig, durable uint64, base storage.WORMStats) (*BurnFile
 		// An intact unacknowledged burn: keep it, account it.
 		b.reserved = s + 1
 		rep.OrphanSectors++
+		rep.OrphanPayloadBytes += uint64(plen)
 		b.stats.SectorsBurned++
 		b.stats.SectorWrites++
 		b.stats.PayloadBytes += uint64(plen)
@@ -260,6 +280,216 @@ func (b *BurnFile) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.f.Close()
+}
+
+// --- WORM compaction ---
+//
+// Compaction is the one operation that rewrites burned sectors: the
+// caller (internal/db's maintenance scheduler) has proven every sector
+// from `boundary` up is either dead (unreferenced) or belongs to a live
+// run it passes back in `payloads`, in ascending old-offset order with
+// relocated child references already patched. CompactRegion journals the
+// old region bytes first — the same rollback protocol as the page file's
+// checkpoint flush — then rewrites the region with the live runs packed
+// from the boundary, truncates the file, and adjusts the content
+// accounting. The journal is retired by CompleteCompaction only after
+// the checkpoint recording the new boundary is durably installed; until
+// then a crash restores the old region (OpenBurn replays a matching
+// journal), so the pre-compaction checkpoint remains recoverable.
+
+// saturatingSub subtracts without wrapping: device accounting of runs
+// torn by injected write faults is intentionally conservative (a failed
+// run is all waste even if some sectors landed intact), so region
+// recomputation may not match it bit for bit.
+func saturatingSub(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}
+
+// CompactRegion rewrites the sectors from boundary to the end of the
+// file with the given live-run payloads, packed from boundary on, and
+// truncates the rest: dead runs between live ones are squeezed out and
+// their capacity reclaimed. epoch is the currently installed checkpoint
+// epoch — it stamps the rollback journal so recovery can tell a torn
+// compaction (restore) from a completed one (discard). The returned
+// addresses are the relocated runs, in payload order. Callers must
+// guarantee no concurrent Append (the scheduler re-checks Burned() under
+// every write latch before committing to the rewrite).
+func (b *BurnFile) CompactRegion(epoch, boundary uint64, payloads [][]byte) ([]storage.Addr, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if boundary > b.reserved {
+		return nil, fmt.Errorf("pagestore: compaction boundary %d past burned end %d", boundary, b.reserved)
+	}
+	oldReserved := b.reserved
+	regionSectors := oldReserved - boundary
+	frameSize := burnFrameHeader + b.sectorSize
+
+	// Journal the old region before touching it.
+	region := make([]byte, int(regionSectors)*frameSize)
+	n, err := b.f.ReadAt(region, b.frameOff(boundary))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("pagestore: compaction read of old region: %w", err)
+	}
+	region = region[:n] // short reads past holes/clipped tails are fine: restore rewrites what existed
+	jf, err := openBlock(b.cfg.journalPath(), true, b.cfg.Wrap)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: create compaction journal: %w", err)
+	}
+	hdr := make([]byte, 0, 32)
+	hdr = append(hdr, jrnlMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, epoch)
+	hdr = binary.LittleEndian.AppendUint64(hdr, boundary)
+	hdr = binary.LittleEndian.AppendUint64(hdr, oldReserved)
+	framed := crcFrame(nil, hdr)
+	framed = crcFrame(framed, region)
+	if _, err := jf.WriteAt(framed, 0); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("pagestore: compaction journal write: %w", err)
+	}
+	if err := jf.Sync(); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("pagestore: compaction journal sync: %w", err)
+	}
+	if err := jf.Close(); err != nil {
+		return nil, err
+	}
+
+	// Retire the old region from the content accounting.
+	var oldPayload, oldWaste uint64
+	for s := 0; s < int(regionSectors); s++ {
+		lo := s * frameSize
+		hi := min(lo+frameSize, len(region))
+		if lo >= len(region) {
+			oldWaste += uint64(b.sectorSize)
+			continue
+		}
+		if plen, valid := decodeBurnFrame(region[lo:hi], b.sectorSize); valid {
+			oldPayload += uint64(plen)
+			oldWaste += uint64(b.sectorSize - plen)
+		} else {
+			oldWaste += uint64(b.sectorSize)
+		}
+	}
+	b.stats.SectorsBurned = saturatingSub(b.stats.SectorsBurned, regionSectors)
+	b.stats.PayloadBytes = saturatingSub(b.stats.PayloadBytes, oldPayload)
+	b.stats.WastedBytes = saturatingSub(b.stats.WastedBytes, oldWaste)
+
+	// Pack the live runs from the boundary on.
+	start := time.Now()
+	addrs := make([]storage.Addr, 0, len(payloads))
+	next := boundary
+	for _, data := range payloads {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("pagestore: empty compaction payload")
+		}
+		nsect := (len(data) + b.sectorSize - 1) / b.sectorSize
+		buf := make([]byte, 0, nsect*frameSize)
+		for i := 0; i < nsect; i++ {
+			lo := i * b.sectorSize
+			hi := min(lo+b.sectorSize, len(data))
+			chunk := data[lo:hi]
+			var fh [burnFrameHeader]byte
+			binary.LittleEndian.PutUint32(fh[0:4], uint32(len(chunk)))
+			binary.LittleEndian.PutUint32(fh[4:8], crc32.Checksum(chunk, castagnoli))
+			buf = append(buf, fh[:]...)
+			buf = append(buf, chunk...)
+			if len(chunk) < b.sectorSize {
+				buf = append(buf, make([]byte, b.sectorSize-len(chunk))...)
+			}
+		}
+		if _, err := b.f.WriteAt(buf, b.frameOff(next)); err != nil {
+			return nil, fmt.Errorf("pagestore: compaction write at sector %d: %w", next, err)
+		}
+		addrs = append(addrs, storage.Addr{Kind: storage.KindWORM, Off: next, Len: uint32(len(data))})
+		b.stats.SectorWrites += uint64(nsect)
+		b.stats.SectorsBurned += uint64(nsect)
+		b.stats.PayloadBytes += uint64(len(data))
+		b.stats.WastedBytes += uint64(nsect*b.sectorSize - len(data))
+		next += uint64(nsect)
+	}
+	if err := b.f.Truncate(b.frameOff(next)); err != nil {
+		return nil, fmt.Errorf("pagestore: compaction truncate: %w", err)
+	}
+	if err := b.f.Sync(); err != nil {
+		return nil, err
+	}
+	b.reserved = next
+	b.stats.SimTime += time.Since(start)
+	return addrs, nil
+}
+
+// CompleteCompaction retires the compaction journal once the checkpoint
+// recording the new boundary is durably installed. A journal that cannot
+// be removed is harmless: its epoch no longer matches the installed
+// checkpoint, so recovery discards it.
+func (b *BurnFile) CompleteCompaction() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := os.Remove(b.cfg.journalPath()); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// recoverCompactionJournal replays a matching compaction journal left by
+// a torn compaction: the old region bytes are restored at the boundary
+// and the file truncated back to the old burned end, so the device again
+// reconstructs to the installed (pre-compaction) checkpoint. A journal
+// whose epoch does not match belongs to a compaction whose checkpoint
+// completed and is discarded. A torn journal is also discarded: the
+// journal is fsynced before the region is touched, so a torn journal
+// means an untouched region.
+func (b *BurnFile) recoverCompactionJournal(epoch uint64) error {
+	jpath := b.cfg.journalPath()
+	data, err := os.ReadFile(jpath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var frames [][]byte
+	clean, err := parseCRCFrames(data, func(payload []byte) error {
+		frames = append(frames, payload)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	restore := clean && len(frames) == 2 && len(frames[0]) == 32
+	if restore {
+		for i := range jrnlMagic {
+			if frames[0][i] != jrnlMagic[i] {
+				restore = false
+				break
+			}
+		}
+	}
+	if restore {
+		jEpoch := binary.LittleEndian.Uint64(frames[0][8:16])
+		boundary := binary.LittleEndian.Uint64(frames[0][16:24])
+		oldReserved := binary.LittleEndian.Uint64(frames[0][24:32])
+		if jEpoch == epoch {
+			if len(frames[1]) > 0 {
+				if _, err := b.f.WriteAt(frames[1], b.frameOff(boundary)); err != nil {
+					return fmt.Errorf("pagestore: compaction journal restore: %w", err)
+				}
+			}
+			if err := b.f.Truncate(b.frameOff(oldReserved)); err != nil {
+				return fmt.Errorf("pagestore: compaction journal truncate: %w", err)
+			}
+			if err := b.f.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := os.Remove(jpath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 var _ storage.WORMDevice = (*BurnFile)(nil)

@@ -290,7 +290,7 @@ func TestBurnFileTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re, rep, err := OpenBurn(cfg, durable, statsAt)
+	re, rep, err := OpenBurn(cfg, durable, statsAt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

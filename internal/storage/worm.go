@@ -29,13 +29,23 @@ func (s WORMStats) BytesBurned(sectorSize int) uint64 {
 }
 
 // Utilization returns PayloadBytes / BytesBurned, the fraction of burned
-// optical capacity holding real data.
+// optical capacity holding real data. It is clamped to [0, 1]: an empty
+// (or fully compacted-away) device divides by zero, and the conservative
+// accounting of fault-torn runs can leave the ratio marginally off on
+// either side.
 func (s WORMStats) Utilization(sectorSize int) float64 {
 	burned := s.BytesBurned(sectorSize)
 	if burned == 0 {
 		return 1
 	}
-	return float64(s.PayloadBytes) / float64(burned)
+	u := float64(s.PayloadBytes) / float64(burned)
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
 }
 
 // WORMDisk simulates a write-once read-many optical device (or a library of

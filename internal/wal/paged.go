@@ -56,6 +56,20 @@ type PagedMeta struct {
 	// pending version before replaying the WAL tail — the paged
 	// equivalent of the logical dump's pending filter.
 	Pending []txn.PendingWrite
+	// GroupLSNs holds the per-shard capture boundary of a fuzzy
+	// checkpoint: shard i's image and dirty pages were captured with the
+	// log at GroupLSNs[i], quiescing only that shard. Replay applies a
+	// committed version to its primary shard iff its record's LSN is
+	// past that shard's boundary. Empty for pre-fuzzy checkpoints
+	// (every shard was captured at the header LSN).
+	GroupLSNs []uint64
+	// SecLSN is the capture boundary of the secondary indexes (all
+	// captured together under the secondary latch).
+	SecLSN uint64
+	// DeadBytes carries the engine-level dead-burn accounting across
+	// reopens: payload bytes of WORM runs nothing references (abandoned
+	// background migrations, crash orphans), reclaimable by compaction.
+	DeadBytes uint64
 }
 
 func encodeDuration(e *record.Encoder, d int64) { e.Uvarint(uint64(d)) }
@@ -207,6 +221,12 @@ func encodePagedMeta(m *PagedMeta) []byte {
 		e.Key(p.Key)
 		e.Uvarint(p.TxnID)
 	}
+	e.Uvarint(uint64(len(m.GroupLSNs)))
+	for _, lsn := range m.GroupLSNs {
+		e.Uvarint(lsn)
+	}
+	e.Uvarint(m.SecLSN)
+	e.Uvarint(m.DeadBytes)
 	return e.Bytes()
 }
 
@@ -249,6 +269,15 @@ func decodePagedMeta(d *record.Decoder) (*PagedMeta, error) {
 		p.TxnID = d.Uvarint()
 		m.Pending = append(m.Pending, p)
 	}
+	nGroup := d.Uvarint()
+	if nGroup > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("wal: paged meta: %d group LSNs", nGroup)
+	}
+	for i := uint64(0); i < nGroup && d.Err() == nil; i++ {
+		m.GroupLSNs = append(m.GroupLSNs, d.Uvarint())
+	}
+	m.SecLSN = d.Uvarint()
+	m.DeadBytes = d.Uvarint()
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("wal: paged meta: %w", err)
 	}
