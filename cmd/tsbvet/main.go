@@ -1,0 +1,90 @@
+// Command tsbvet is the repo's static checker for the latch-hierarchy
+// and durability-ordering invariants (see internal/lint and the
+// "Statically enforced invariants" section of docs/ARCHITECTURE.md).
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation
+// is the one CI runs:
+//
+//	go build -o tsbvet ./cmd/tsbvet
+//	go vet -vettool=$(pwd)/tsbvet ./...
+//
+// It also runs standalone on package patterns for quick local use:
+//
+//	go run ./cmd/tsbvet ./internal/...
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			// The go command interrogates the tool for a build ID with
+			// -V=full and expects "<name> version devel ... buildID=<id>".
+			fmt.Printf("tsbvet version devel buildID=%s\n", selfID())
+			return 0
+		case args[0] == "-flags":
+			// Flag inventory for `go vet`; tsbvet takes none.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0])
+		}
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tsbvet <packages>   (or via go vet -vettool=tsbvet)")
+		return 2
+	}
+	return runStandalone(args)
+}
+
+// selfID hashes the tool binary so `go vet` caches per tool build.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func runStandalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsbvet:", err)
+		return 1
+	}
+	units, err := lint.LoadPackages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsbvet:", err)
+		return 1
+	}
+	exit := 0
+	for _, u := range units {
+		for _, d := range lint.RunAll(u) {
+			fmt.Fprintln(os.Stderr, d)
+			exit = 2
+		}
+	}
+	return exit
+}

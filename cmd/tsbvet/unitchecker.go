@@ -1,0 +1,136 @@
+package main
+
+// The `go vet -vettool` half of tsbvet. For every package in the build,
+// the go command writes a JSON config describing the unit — source
+// files, the import map, and the export-data file of every dependency —
+// and invokes the tool with the config path as its only argument.
+// Dependencies are vetted with VetxOnly set purely to produce
+// cross-package facts; tsbvet keeps its cross-package knowledge in
+// internal/lint's built-in table instead, so those runs only need to
+// write an (empty) facts file and exit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsbvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tsbvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command reads the facts file back unconditionally; tsbvet
+	// carries no cross-package facts, so an empty file always suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "tsbvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiled := importer.ForCompiler(fset, compilerOf(cfg), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return compiled.Import(path)
+		}),
+		Sizes:     types.SizesFor(compilerOf(cfg), runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := lint.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	unit := &lint.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags := lint.RunAll(unit)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func compilerOf(cfg vetConfig) string {
+	if cfg.Compiler == "" || cfg.Compiler == "gc" {
+		return "gc"
+	}
+	return cfg.Compiler
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

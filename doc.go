@@ -5,9 +5,15 @@
 // docs/ARCHITECTURE.md is the orientation document: the layer map, the
 // latch hierarchy, the durability contract (logical v3 vs paged v4
 // checkpoints), the background-migration state machine with its
-// admissible interleavings, and the maintenance economy (the background
+// admissible interleavings, the maintenance economy (the background
 // scheduler, WORM compaction, and the fuzzy per-shard checkpoint
-// capture).
+// capture), and the statically enforced invariants: cmd/tsbvet is a
+// `go vet -vettool` analyzer suite (internal/lint) that checks the
+// latch hierarchy, the no-I/O-under-a-data-latch rule,
+// release-on-every-path, sync-before-rename, and the sticky-error
+// discipline against //tsb: directives in the source — see
+// ARCHITECTURE.md ("Statically enforced invariants") for the rules and
+// their escape hatches.
 //
 // The system lives in internal/ (see DESIGN.md for the inventory):
 //

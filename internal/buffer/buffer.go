@@ -77,7 +77,7 @@ type frame struct {
 // Pool is an LRU page cache implementing storage.PageStore. It is safe
 // for concurrent use.
 type Pool struct {
-	mu        sync.Mutex
+	mu        sync.Mutex //tsb:latch level=7 name=buffer-pool
 	dev       storage.PageStore
 	cap       int
 	writeback bool

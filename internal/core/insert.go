@@ -16,6 +16,8 @@ import (
 // data — or the postings of a descendant's split — are split top-down
 // before descent, so a split's postings always fit in the (erasable)
 // parent.
+//
+//tsb:io -- a time split can burn the historical half inline
 func (t *Tree) Insert(v record.Version) error {
 	if err := t.validate(v); err != nil {
 		return err

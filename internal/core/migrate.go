@@ -338,6 +338,8 @@ func (t *Tree) CaptureSplit(ps PendingSplit) (c *SplitCapture, ok bool, err erro
 // is safe for concurrent use — so it is the one migration step designed
 // to run with NO latch held. Tree-level accounting for the burn happens
 // later, under the write latch, when ApplySplit installs the node.
+//
+//tsb:io
 func (t *Tree) BurnCapture(c *SplitCapture) (storage.Addr, error) {
 	return t.worm.Append(c.histData)
 }
@@ -355,6 +357,8 @@ func (t *Tree) BurnCapture(c *SplitCapture) (storage.Addr, error) {
 // applied=false means the capture lost its race (the leaf was split
 // inline after all): the burned node is unreferenced WORM waste, exactly
 // as a torn migration on real write-once media would be.
+//
+//tsb:io -- re-splitting a full ancestor on the descent can burn inline
 func (t *Tree) ApplySplit(c *SplitCapture, histAddr storage.Addr) (applied bool, err error) {
 	mk, queued := t.pending[c.page]
 	if !queued || mk.T != c.T {

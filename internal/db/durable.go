@@ -63,7 +63,7 @@ func lockDir(dir string) (*os.File, error) {
 		return nil, fmt.Errorf("db: lock file: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
 	}
 	return f, nil
@@ -94,7 +94,7 @@ func openDurable(cfg Config) (*DB, error) {
 			if d != nil {
 				d.closeDevices()
 			}
-			lock.Close()
+			_ = lock.Close()
 		}
 	}()
 	info, found, err := wal.ReadCheckpointInfo(cfg.Dir)
@@ -434,6 +434,8 @@ func (d *DB) checkpointLocked() error {
 // quiesceTimed is tm.Quiesce plus pause accounting: the commit-posting
 // stall a checkpoint inflicts on writers is the sum of its quiesce
 // windows, measured here and reported by Stats().Checkpoint.
+//
+//tsb:wraps commit-token
 func (d *DB) quiesceTimed(fn func() error) error {
 	start := time.Now()
 	err := d.tm.Quiesce(fn)

@@ -307,6 +307,7 @@ func (d *DB) Compact() (CompactionReport, error) {
 			rep.Aborted = true
 			return nil
 		}
+		//tsb:allow latchio -- the documented compaction install: the journaled region rewrite must be atomic against every reader, so it runs under all write latches
 		addrs, err := d.bf.CompactRegion(d.epoch, boundary, payloads)
 		if err != nil {
 			return err

@@ -103,13 +103,13 @@ type MigratorStats struct {
 type migrator struct {
 	store *shardedStore
 
-	mu       sync.Mutex
+	mu       sync.Mutex   //tsb:latch level=7 name=migrator-queue
 	conds    []*sync.Cond // one per shard worker
 	doneCond *sync.Cond
 	queues   [][]core.PendingSplit // per-shard FIFO of tickets
 	queued   int
 	inflight int
-	paused   bool
+	paused   bool //tsb:latch level=2 name=migrator-fence kind=state
 	stopped  bool
 	err      error // sticky first capture/burn/swap failure
 
@@ -243,6 +243,7 @@ func (m *migrator) process(i int, ps core.PendingSplit) error {
 
 	start = time.Now()
 	sh.mu.Lock()
+	//tsb:allow latchio -- the documented swap: the burn itself ran latch-free above; ApplySplit only re-burns when an ancestor filled up mid-migration
 	applied, err := sh.tree.ApplySplit(cap, addr)
 	sh.mu.Unlock()
 	swapNanos := uint64(time.Since(start))
@@ -272,6 +273,8 @@ func (m *migrator) process(i int, ps core.PendingSplit) error {
 // pause fences the migrator for a checkpoint boundary: no new ticket
 // starts, and pause returns only once the in-flight tickets (at most one
 // per shard) have completed. Nil-safe.
+//
+//tsb:acquires migrator-fence
 func (m *migrator) pause() {
 	if m == nil {
 		return
@@ -285,6 +288,8 @@ func (m *migrator) pause() {
 }
 
 // resume lifts the fence. Nil-safe.
+//
+//tsb:releases migrator-fence
 func (m *migrator) resume() {
 	if m == nil {
 		return

@@ -91,7 +91,7 @@ func openPaged(cfg Config, info wal.CheckpointInfo, found bool) (*DB, error) {
 		}
 		bf, err := pagestore.CreateBurn(pagestore.BurnConfig{Path: burnPath, SectorSize: cfg.SectorSize, Wrap: cfg.blockWrap})
 		if err != nil {
-			pf.Close()
+			_ = pf.Close()
 			return nil, err
 		}
 		d.pf, d.bf = pf, bf
@@ -131,7 +131,7 @@ func openPaged(cfg Config, info wal.CheckpointInfo, found bool) (*DB, error) {
 	bf, rep, err := pagestore.OpenBurn(pagestore.BurnConfig{Path: burnPath, SectorSize: m.SectorSize, Wrap: cfg.blockWrap},
 		m.Burned, m.WormStats, m.Epoch)
 	if err != nil {
-		pf.Close()
+		_ = pf.Close()
 		return nil, err
 	}
 	d.pf, d.bf = pf, bf

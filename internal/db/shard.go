@@ -15,7 +15,7 @@ import (
 // is the transaction manager's job. Readers of disjoint shards never
 // contend, and readers of the same shard share the latch.
 type shard struct {
-	mu   sync.RWMutex
+	mu   sync.RWMutex //tsb:latch level=5 name=shard
 	tree *core.Tree
 }
 
@@ -72,6 +72,7 @@ func (s *shardedStore) Insert(v record.Version) error {
 	i := record.ShardOfKey(v.Key, len(s.shards))
 	sh := s.shards[i]
 	sh.mu.Lock()
+	//tsb:allow latchio -- inline burn fallback: when the migrator queue is saturated (or migration is off) the time split burns under the latch by design
 	err := sh.tree.Insert(v)
 	var tickets []core.PendingSplit
 	if s.mig != nil {

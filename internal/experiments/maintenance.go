@@ -82,7 +82,7 @@ func E15Maintenance(dir string, workers, opsPerWorker int) (MaintenanceResult, T
 			running = false
 		default:
 			if err := d.Checkpoint(); err != nil {
-				d.Close()
+				_ = d.Close()
 				return MaintenanceResult{}, Table{}, err
 			}
 			time.Sleep(2 * time.Millisecond)
@@ -90,12 +90,12 @@ func E15Maintenance(dir string, workers, opsPerWorker int) (MaintenanceResult, T
 	}
 	select {
 	case err := <-errCh:
-		d.Close()
+		_ = d.Close()
 		return MaintenanceResult{}, Table{}, err
 	default:
 	}
 	if err := d.DrainMigrations(); err != nil {
-		d.Close()
+		_ = d.Close()
 		return MaintenanceResult{}, Table{}, err
 	}
 	cp := d.Stats().Checkpoint
@@ -116,13 +116,13 @@ func E15Maintenance(dir string, workers, opsPerWorker int) (MaintenanceResult, T
 	// — without it a short run can end with every burn already covered,
 	// and the aging reclaims nothing.
 	if err := d.Checkpoint(); err != nil {
-		d.Close()
+		_ = d.Close()
 		return MaintenanceResult{}, Table{}, err
 	}
 	burned0 := d.Stats().WORM.SectorsBurned
 	for i := 0; d.Stats().WORM.SectorsBurned < burned0+4; i++ {
 		if i >= 200_000 {
-			d.Close()
+			_ = d.Close()
 			return MaintenanceResult{}, Table{}, fmt.Errorf("experiments: aging burst burned no sectors after %d puts", i)
 		}
 		k := workload.SpreadKey(uint64(i % 64))
@@ -130,18 +130,18 @@ func E15Maintenance(dir string, workers, opsPerWorker int) (MaintenanceResult, T
 			return tx.Put(k, []byte("maintenance-economy-payload-0123456789"))
 		})
 		if err != nil {
-			d.Close()
+			_ = d.Close()
 			return MaintenanceResult{}, Table{}, err
 		}
 		if i%64 == 63 {
 			if err := d.DrainMigrations(); err != nil {
-				d.Close()
+				_ = d.Close()
 				return MaintenanceResult{}, Table{}, err
 			}
 		}
 	}
 	if err := d.DrainMigrations(); err != nil {
-		d.Close()
+		_ = d.Close()
 		return MaintenanceResult{}, Table{}, err
 	}
 	if err := d.Close(); err != nil {

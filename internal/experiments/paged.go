@@ -111,26 +111,26 @@ func CheckpointDuration(dirBase string, sizes []int, touch int) ([]CheckpointDur
 				return nil
 			})
 			if err != nil {
-				d.Close()
+				_ = d.Close()
 				return nil, Table{}, err
 			}
 		}
 		if err := d.Checkpoint(); err != nil {
-			d.Close()
+			_ = d.Close()
 			return nil, Table{}, err
 		}
 		for t := 0; t < touch; t++ {
 			k := record.Uint64Key(uint64(t*(size/touch+1)) * 0x9e3779b97f4a7c15)
 			err := d.Update(func(tx *txn.Txn) error { return tx.Put(k, []byte("dirty")) })
 			if err != nil {
-				d.Close()
+				_ = d.Close()
 				return nil, Table{}, err
 			}
 		}
 		flushedBefore := d.Stats().Buffer.FlushedPages
 		start := time.Now()
 		if err := d.Checkpoint(); err != nil {
-			d.Close()
+			_ = d.Close()
 			return nil, Table{}, err
 		}
 		elapsed := time.Since(start)
@@ -146,7 +146,7 @@ func CheckpointDuration(dirBase string, sizes []int, touch int) ([]CheckpointDur
 			num(uint64(row.Versions)), num(uint64(row.TotalPages)),
 			num(uint64(row.DirtyFlushed)), fmt.Sprintf("%.2f", row.Millis),
 		})
-		d.Close()
+		_ = d.Close()
 	}
 	return rows, tab, nil
 }

@@ -1,0 +1,27 @@
+package lint
+
+// The self-check: the whole module must vet clean. Every deliberate
+// exception to an invariant is a //tsb:allow at the site, so "clean"
+// here means zero *unsuppressed* diagnostics — exactly what the CI
+// `go vet -vettool=tsbvet ./...` gate enforces, checked again here so
+// `go test ./...` alone catches a violation.
+
+import "testing"
+
+func TestRepoHasNoUnsuppressedDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module vet in -short mode")
+	}
+	units, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("load packages: %v", err)
+	}
+	if len(units) == 0 {
+		t.Fatal("LoadPackages returned no packages")
+	}
+	for _, u := range units {
+		for _, d := range RunAll(u) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package durablerename exercises the sync-before-rename analyzer: an
+// os.Rename that publishes a file must be preceded (in source order,
+// within the function) by a Sync of the temp file — directly or via a
+// //tsb:syncs-annotated helper — or carry an explicit allow.
+package durablerename
+
+import "os"
+
+func installUnsynced(tmp, final string) error {
+	return os.Rename(tmp, final) // want `durablerename: os.Rename installs a file without a preceding Sync`
+}
+
+func installSynced(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// flushAll fsyncs everything the caller wrote.
+//
+//tsb:syncs
+func flushAll(f *os.File) error { return f.Sync() }
+
+func installViaHelper(f *os.File, tmp, final string) error {
+	if err := flushAll(f); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// A sync after the rename orders nothing: still flagged.
+func syncTooLate(f *os.File, tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil { // want `durablerename: os.Rename installs a file without a preceding Sync`
+		return err
+	}
+	return f.Sync()
+}
+
+func installAllowed(tmp, final string) error {
+	//tsb:allow durablerename -- fixture: a marker file whose loss is harmless
+	return os.Rename(tmp, final)
+}

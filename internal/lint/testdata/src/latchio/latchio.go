@@ -1,0 +1,78 @@
+// Package latchio exercises the no-I/O-under-write-latch analyzer:
+// structural os I/O, //tsb:io-annotated helpers, the one-level
+// call-graph check, and the three legal shapes — read latches, leaf
+// (non-data) latches, and the //tsb:allow latchio escape.
+package latchio
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.RWMutex //tsb:latch level=5 name=store
+}
+
+type pool struct {
+	mu sync.Mutex //tsb:latch level=7 name=pool
+}
+
+// burn stands in for an inline time-split burn.
+//
+//tsb:io
+func (s *store) burn() error { return nil }
+
+// Structural os I/O under the write latch.
+func (s *store) writeIO(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = os.Remove(path) // want `latchio: device I/O \(os.Remove\) while write latch "store"`
+}
+
+// Directive-declared I/O under the write latch.
+func (s *store) writeBurn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.burn() // want `latchio: device I/O \(burn\) while write latch "store"`
+}
+
+func (s *store) doRemove(path string) {
+	_ = os.Remove(path)
+}
+
+// The one-level call graph: I/O one call away is still under the latch.
+func (s *store) ioViaCall(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doRemove(path) // want `latchio: device I/O \(doRemove\) via call to doRemove while write latch "store"`
+}
+
+// A read latch never blocks a writer behind the device: not flagged.
+func (s *store) readIO(path string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_ = os.Remove(path)
+}
+
+// A leaf latch (level 7, outside the data-latch band) exists precisely
+// to serialize device access: not flagged.
+func (p *pool) leafIO(path string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = os.Remove(path)
+}
+
+// I/O after the latch is released is fine.
+func (s *store) ioAfterUnlock(path string) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	_ = os.Remove(path)
+}
+
+// The documented escape is visible at the site.
+func (s *store) allowedIO(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//tsb:allow latchio -- fixture: the documented inline-burn escape
+	_ = os.Remove(path)
+}

@@ -1,0 +1,88 @@
+// Package latchorder exercises the latch-hierarchy analyzer: a fixture
+// three-level hierarchy, the legal coarse-to-fine direction, both
+// violation shapes (inversion, self-deadlock), the same-name
+// convention for shard-style latches, the one-level call-graph check,
+// and the //tsb:allow escape.
+package latchorder
+
+import "sync"
+
+type engine struct {
+	cpMu    sync.Mutex   //tsb:latch level=1 name=checkpoint
+	shardMu sync.RWMutex //tsb:latch level=5 name=shard
+	poolMu  sync.Mutex   //tsb:latch level=7 name=pool
+}
+
+// Coarse-to-fine is the legal direction.
+func (e *engine) coarseToFine() {
+	e.cpMu.Lock()
+	e.shardMu.Lock()
+	e.poolMu.Lock()
+	e.poolMu.Unlock()
+	e.shardMu.Unlock()
+	e.cpMu.Unlock()
+}
+
+// Fine-to-coarse inverts the hierarchy.
+func (e *engine) fineToCoarse() {
+	e.poolMu.Lock()
+	e.cpMu.Lock() // want `latchorder: acquiring latch "checkpoint" \(level 1\) while holding "pool" \(level 7\)`
+	e.cpMu.Unlock()
+	e.poolMu.Unlock()
+}
+
+// Re-acquiring the same instance is self-deadlock even though the
+// level check alone would not catch it.
+func (e *engine) reacquire() {
+	e.cpMu.Lock()
+	e.cpMu.Lock() // want `latchorder: re-acquiring "checkpoint" already held .*: self-deadlock`
+	e.cpMu.Unlock()
+	e.cpMu.Unlock()
+}
+
+type shard struct {
+	mu sync.RWMutex //tsb:latch level=5 name=part
+}
+
+// Two instances of the same latch class are ordered by convention
+// (index order), not by the hierarchy: no diagnostic.
+func lockBoth(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (e *engine) lockCheckpoint() {
+	e.cpMu.Lock()
+	e.cpMu.Unlock()
+}
+
+func (e *engine) lockPool() {
+	e.poolMu.Lock()
+	e.poolMu.Unlock()
+}
+
+// The one-level call graph: calling a function charges the caller with
+// every latch the callee's body acquires.
+func (e *engine) inversionViaCall() {
+	e.poolMu.Lock()
+	e.lockCheckpoint() // want `latchorder: acquiring \(via call to lockCheckpoint\) latch "checkpoint" \(level 1\) while holding "pool" \(level 7\)`
+	e.poolMu.Unlock()
+}
+
+// The same call in the legal direction is fine.
+func (e *engine) fineViaCall() {
+	e.cpMu.Lock()
+	e.lockPool()
+	e.cpMu.Unlock()
+}
+
+// A documented exception is visible at the site.
+func (e *engine) allowedInversion() {
+	e.poolMu.Lock()
+	//tsb:allow latchorder -- fixture: a documented ordering exception
+	e.cpMu.Lock()
+	e.cpMu.Unlock()
+	e.poolMu.Unlock()
+}

@@ -1,0 +1,45 @@
+// Package stickyerr exercises the sticky-error analyzer: discarded
+// Sync/Close/os-mutator/append errors are flagged; `_ =` is a visible
+// decision; defer f.Close() is the accepted cleanup idiom but
+// defer f.Sync() is not; //tsb:sticky extends the rule to the WAL
+// append surface; //tsb:allow stickyerr is the escape.
+package stickyerr
+
+import "os"
+
+// appendFrame stands in for a WAL append: its error is sticky.
+//
+//tsb:sticky
+func appendFrame(b []byte) error {
+	_ = b
+	return nil
+}
+
+func discards(f *os.File, b []byte) {
+	f.Sync()       // want `stickyerr: error result of File\.Sync is discarded`
+	f.Close()      // want `stickyerr: error result of File\.Close is discarded`
+	os.Remove("x") // want `stickyerr: error result of os\.Remove is discarded`
+	appendFrame(b) // want `stickyerr: error result of stickyerr\.appendFrame is discarded`
+}
+
+func checksOrDiscardsVisibly(f *os.File, b []byte) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := appendFrame(b); err != nil {
+		return err
+	}
+	_ = f.Close()
+	return nil
+}
+
+func deferredCleanup(f *os.File) {
+	defer f.Close()              // accepted cleanup idiom
+	defer os.RemoveAll("fixdir") // accepted cleanup idiom
+	defer f.Sync()               // want `stickyerr: error result of File\.Sync is discarded by defer`
+}
+
+func allowedDiscard(f *os.File) {
+	//tsb:allow stickyerr -- fixture: best-effort flush on a scratch file
+	f.Sync()
+}

@@ -51,7 +51,7 @@ type ReopenReport struct {
 // verifies the unsynced tail sector by sector, clipping it at the first
 // torn frame. It is safe for concurrent use.
 type BurnFile struct {
-	mu         sync.Mutex
+	mu         sync.Mutex //tsb:latch level=7 name=burn-file
 	cfg        BurnConfig
 	f          storage.BlockFile
 	sectorSize int

@@ -60,7 +60,7 @@ func (c Config) journalPath() string { return c.Path + ".journal" }
 // retires the journal and advances the restore point.
 // It is safe for concurrent use.
 type PageFile struct {
-	mu       sync.Mutex
+	mu       sync.Mutex //tsb:latch level=7 name=page-file
 	cfg      Config
 	f        storage.BlockFile
 	pageSize int

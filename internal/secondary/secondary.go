@@ -76,6 +76,8 @@ func composite(skey, pkey record.Key) (record.Key, error) {
 // stopped having oldSkey (if oldOK) and started having newSkey (unless
 // removed). Both transitions are versions in the secondary tree, stamped
 // with the inherited timestamp.
+//
+//tsb:io -- inserting the transition can time-split and burn inline
 func (ix *Index) Apply(commitTime record.Timestamp, pkey record.Key, oldSkey record.Key, oldOK bool, newSkey record.Key, removed bool) error {
 	sameKey := oldOK && !removed && oldSkey.Equal(newSkey)
 	if oldOK && !sameKey {

@@ -15,7 +15,7 @@ var ErrInjected = errors.New("storage: injected fault")
 // n-th subsequent call of that operation fail (1 = the next one).
 // It is safe for concurrent use.
 type FaultyPages struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //tsb:latch level=8 name=faulty-pages
 	inner PageStore
 	count map[string]int // operation -> calls seen
 	fail  map[string]int // operation -> call number to fail at

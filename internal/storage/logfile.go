@@ -27,7 +27,7 @@ type LogFile interface {
 // offset into the whole durable write stream even when the log rotates
 // across segment files mid-test.
 type TearPlan struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //tsb:latch level=8 name=tear-plan
 	budget int64
 	armed  bool
 	dead   bool

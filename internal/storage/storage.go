@@ -159,7 +159,7 @@ func (s MagneticStats) BytesInUse(pageSize int) uint64 {
 // database. Pages can be allocated, rewritten in place, and freed.
 // It is safe for concurrent use.
 type MagneticDisk struct {
-	mu       sync.Mutex
+	mu       sync.Mutex //tsb:latch level=8 name=magnetic-disk
 	pageSize int
 	cost     CostModel
 	pages    [][]byte // nil slot = never allocated or freed

@@ -63,7 +63,7 @@ func (s WORMStats) Utilization(sectorSize int) float64 {
 // and touching an off-line platter costs a simulated MountDelay.
 // It is safe for concurrent use.
 type WORMDisk struct {
-	mu         sync.Mutex
+	mu         sync.Mutex //tsb:latch level=8 name=worm-disk
 	sectorSize int
 	cost       CostModel
 

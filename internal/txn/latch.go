@@ -15,7 +15,7 @@ import (
 // the single-shard degenerate case, handy for tests and tools that drive
 // a Manager over one tree.
 type LatchedStore struct {
-	mu sync.RWMutex
+	mu sync.RWMutex //tsb:latch level=5 name=store
 	s  Store
 }
 
@@ -25,6 +25,7 @@ func NewLatchedStore(s Store) *LatchedStore { return &LatchedStore{s: s} }
 func (l *LatchedStore) Insert(v record.Version) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//tsb:allow latchio -- single-latch store: an inline time-split burn has no background migrator to defer to
 	return l.s.Insert(v)
 }
 

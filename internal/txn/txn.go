@@ -153,10 +153,10 @@ type Manager struct {
 	// drains the queue and posts the whole batch; committers that lose
 	// the race park on their request's done channel instead of the
 	// token, which is what lets batches form.
-	leaderCh chan struct{}
+	leaderCh chan struct{} //tsb:latch level=3 name=commit-token
 
 	// qMu guards the group-commit queue only.
-	qMu   sync.Mutex
+	qMu   sync.Mutex //tsb:latch level=7 name=commit-queue
 	queue []*commitReq
 
 	hook CommitHook
@@ -169,7 +169,7 @@ type Manager struct {
 	broken error
 
 	// lockMu guards the no-wait lock table only.
-	lockMu sync.Mutex
+	lockMu sync.Mutex        //tsb:latch level=7 name=lock-table
 	locks  map[string]uint64 // key -> txn id holding the write lock
 
 	begun, committed, aborted, readers, conflicts atomic.Uint64
@@ -228,6 +228,8 @@ func (m *Manager) SetCommitLog(l CommitLog) {
 // quiescent-boundary guarantees no longer hold, and in particular a
 // checkpoint taken now would make the half-applied state durable and
 // truncate the very records recovery needs to repair it.
+//
+//tsb:wraps commit-token
 func (m *Manager) Quiesce(fn func() error) error {
 	m.leaderCh <- struct{}{}
 	defer func() { <-m.leaderCh }()
@@ -415,6 +417,8 @@ func (t *Txn) sortedWrites() []record.Version {
 // outcome is "unknown": the in-memory store has diverged from the log,
 // the manager refuses all further commits, and reopening the durable
 // directory reconciles by replaying the record as committed.
+//
+//tsb:locks commit-token commit-queue
 func (t *Txn) Commit() error {
 	m := t.m
 	if t.done {

@@ -141,7 +141,7 @@ type Stats struct {
 // concurrent use, though the transaction manager only ever appends from
 // one batch leader at a time.
 type Log struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //tsb:latch level=4 name=wal
 	opts   Options
 	f      storage.LogFile
 	seg    uint64
