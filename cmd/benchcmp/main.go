@@ -8,9 +8,11 @@
 // (lower is better); the put-latency point on microseconds per put
 // (lower is better); the group-commit point on ops/sec and additionally
 // reports the records-per-fsync amortization shift; the
-// maintenance-compaction point on waste reclaimed (higher is better)
-// and the maintenance-ckpt-pause point on the per-checkpoint commit
-// pause (lower is better).
+// maintenance-compaction point on waste reclaimed (higher is better);
+// the maintenance-ckpt-pause point on the per-checkpoint commit
+// pause (lower is better); the server-throughput points on ops/sec and
+// the server-p99-us points on the closed-loop served tail latency
+// (lower is better).
 //
 // Usage:
 //
@@ -49,6 +51,7 @@ type point struct {
 	SplitLatchMillis float64 `json:"split_latch_ms,omitempty"`
 	WasteReclaimed   uint64  `json:"waste_reclaimed_b,omitempty"`
 	CkptPauseMillis  float64 `json:"ckpt_pause_ms,omitempty"`
+	ServerP99Micros  float64 `json:"server_p99_us,omitempty"`
 }
 
 // key identifies a trajectory point across runs.
@@ -113,6 +116,10 @@ func metric(p point) (name string, value float64, lowerIsBetter bool) {
 		return "reclaimed-B", float64(p.WasteReclaimed), false
 	case p.CkptPauseMillis > 0:
 		return "ckpt-pause-ms", p.CkptPauseMillis, true
+	case p.ServerP99Micros > 0:
+		// Served closed-loop tail latency: client-observed
+		// send-to-response p99 through the tsbserve protocol.
+		return "server-p99-us", p.ServerP99Micros, true
 	default:
 		return "ops/sec", p.OpsPerSec, false
 	}

@@ -1,4 +1,4 @@
-// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E15)
+// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E16)
 // and prints their tables: the measurement plan stated in §3.2/§5 of
 // Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, the
 // concurrent sharded-engine scaling run (E10), the group-commit
@@ -6,20 +6,26 @@
 // WORM burn-rate run (E12), the paged checkpoint-duration run (E13,
 // paged durable mode in a temp directory), the background-migration
 // latency run (E14, inline vs background time splits under real
-// write-once burn latency), and the maintenance-economy run (E15, fuzzy
-// checkpoint pause under concurrent writers plus compaction reclaim).
+// write-once burn latency), the maintenance-economy run (E15, fuzzy
+// checkpoint pause under concurrent writers plus compaction reclaim),
+// and the closed-loop service-layer run (E16, pipelined client
+// connections over loopback TCP against the tsbserve protocol,
+// migration inline vs background).
 //
 // Usage:
 //
 //	tsbench [-exp all|E1,E2,...] [-ops N] [-value BYTES] [-seed N]
-//	        [-shards 1,2,4,8] [-workers N] [-benchjson FILE]
+//	        [-shards 1,2,4,8] [-workers N] [-conns N] [-connwindow N]
+//	        [-benchjson FILE]
 //
 // -benchjson writes the E10 throughput points as JSON — plus the cursor
 // page-read, put-latency, group-commit, worm-burn-rate,
-// checkpoint-duration, migration-latency, and maintenance trajectory
-// points — so CI can archive a perf trajectory across commits covering
-// writes, reads, durability, checkpoint cost, migration latency, and
-// the maintenance economy (checkpoint pause, waste reclaimed).
+// checkpoint-duration, migration-latency, maintenance, and served
+// closed-loop trajectory points — so CI can archive a perf trajectory
+// across commits covering writes, reads, durability, checkpoint cost,
+// migration latency, the maintenance economy (checkpoint pause, waste
+// reclaimed), and the network service layer (served throughput and
+// p99).
 package main
 
 import (
@@ -42,6 +48,8 @@ func main() {
 	dist := flag.String("dist", "uniform", "update-target distribution: uniform, zipf, sequential")
 	shards := flag.String("shards", "1,2,4,8", "shard counts for the concurrent experiment (comma-separated)")
 	workers := flag.Int("workers", 8, "concurrent workers for the E10 mixed workload")
+	conns := flag.Int("conns", 100, "client connections for the E16 closed-loop server run")
+	connWindow := flag.Int("connwindow", 8, "per-connection in-flight request window for E16")
 	benchJSON := flag.String("benchjson", "", "write E10 throughput results to this file as JSON")
 	flag.Parse()
 
@@ -66,7 +74,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 15; i++ {
+		for i := 1; i <= 16; i++ {
 			want[fmt.Sprintf("E%d", i)] = true
 		}
 	} else {
@@ -76,7 +84,7 @@ func main() {
 	}
 	p := experiments.Params{Ops: *ops, ValueSize: *value, Seed: *seed, Dist: d}
 
-	if err := run(want, p, shardCounts, *workers, *benchJSON); err != nil {
+	if err := run(want, p, shardCounts, *workers, *conns, *connWindow, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "tsbench:", err)
 		os.Exit(1)
 	}
@@ -94,7 +102,7 @@ func parseShards(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(want map[string]bool, p experiments.Params, shardCounts []int, workers int, benchJSON string) error {
+func run(want map[string]bool, p experiments.Params, shardCounts []int, workers, conns, connWindow int, benchJSON string) error {
 	needSweep := want["E1"] || want["E2"] || want["E3"] || want["E4"] ||
 		want["E6"] || want["E7"] || want["E8"]
 	var sweep *experiments.Sweep
@@ -261,6 +269,28 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 				CkptPauseMillis: res.AvgPauseMillis},
 		}
 	}
+	// E16 serves the printed table and four archived points: served
+	// throughput and served client p99 per migration mode.
+	var servePoints []benchPoint
+	if want["E16"] || archive {
+		servOps := min(max(p.Ops/max(conns, 1), 50), 500)
+		rows, tab, err := experiments.E16ClosedLoop(conns, connWindow, servOps)
+		if err != nil {
+			return err
+		}
+		if want["E16"] {
+			fmt.Println(tab)
+		}
+		for _, r := range rows {
+			servePoints = append(servePoints,
+				benchPoint{Experiment: "server-throughput-" + r.Mode, Shards: 8,
+					Workers: r.Conns, Ops: r.Ops,
+					ElapsedSec: r.Elapsed.Seconds(), OpsPerSec: r.OpsPerSec},
+				benchPoint{Experiment: "server-p99-us-" + r.Mode, Shards: 8,
+					Workers: r.Conns, Ops: r.Ops,
+					ServerP99Micros: r.P99Micros})
+		}
+	}
 	if archive {
 		extra, err := trajectoryPoints(p)
 		if err != nil {
@@ -270,6 +300,7 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers 
 		points = append(points, *burnPoint, *ckptPoint, *gcPoint)
 		points = append(points, migPoints...)
 		points = append(points, maintPoints...)
+		points = append(points, servePoints...)
 		if err := writeBenchJSON(benchJSON, points); err != nil {
 			return err
 		}
@@ -341,6 +372,10 @@ type benchPoint struct {
 	// points; the fuzzy per-flush-group capture keeps it low).
 	WasteReclaimedBytes uint64  `json:"waste_reclaimed_b,omitempty"`
 	CkptPauseMillis     float64 `json:"ckpt_pause_ms,omitempty"`
+	// ServerP99Micros is the client-observed send-to-response p99 of
+	// the closed-loop served run (server-p99-us points, one per
+	// migration mode; lower is better).
+	ServerP99Micros float64 `json:"server_p99_us,omitempty"`
 }
 
 // e10Points converts the E10 results to archive records.

@@ -13,7 +13,7 @@ func TestRunSubset(t *testing.T) {
 	// A tiny run of the non-sweep experiments plus one sweep-backed
 	// table, mostly to keep the wiring honest.
 	p := experiments.Params{Ops: 800, ValueSize: 16, Seed: 1}
-	if err := run(map[string]bool{"E5": true, "E9": true}, p, nil, 4, ""); err != nil {
+	if err := run(map[string]bool{"E5": true, "E9": true}, p, nil, 4, 8, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -23,7 +23,7 @@ func TestRunSweepBacked(t *testing.T) {
 		t.Skip("sweep is slow")
 	}
 	p := experiments.Params{Ops: 800, ValueSize: 16, Seed: 1}
-	if err := run(map[string]bool{"E1": true, "E4": true, "E8": true}, p, nil, 4, ""); err != nil {
+	if err := run(map[string]bool{"E1": true, "E4": true, "E8": true}, p, nil, 4, 8, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,7 +31,7 @@ func TestRunSweepBacked(t *testing.T) {
 func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	p := experiments.Params{Ops: 400, ValueSize: 16, Seed: 1}
 	path := filepath.Join(t.TempDir(), "BENCH_E10.json")
-	if err := run(map[string]bool{"E10": true}, p, []int{1, 2}, 4, path); err != nil {
+	if err := run(map[string]bool{"E10": true}, p, []int{1, 2}, 4, 8, 4, path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -45,8 +45,10 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	// Two E10 curve points plus the five trajectory points (cursor page
 	// reads, put latency, worm burn rate, checkpoint duration, group
 	// commit) plus the two migration-latency points (inline/background)
-	// plus the two maintenance points (compaction, checkpoint pause).
-	if len(points) != 11 {
+	// plus the two maintenance points (compaction, checkpoint pause)
+	// plus the four served closed-loop points (throughput and p99, one
+	// pair per migration mode).
+	if len(points) != 15 {
 		t.Fatalf("got %d bench points: %+v", len(points), points)
 	}
 	if points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
@@ -82,6 +84,14 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	}
 	if p := byExp["maintenance-ckpt-pause"]; p.CkptPauseMillis <= 0 {
 		t.Errorf("maintenance-ckpt-pause point = %+v", p)
+	}
+	for _, mode := range []string{"inline", "background"} {
+		if p := byExp["server-throughput-"+mode]; p.OpsPerSec <= 0 {
+			t.Errorf("server-throughput-%s point = %+v", mode, p)
+		}
+		if p := byExp["server-p99-us-"+mode]; p.ServerP99Micros <= 0 {
+			t.Errorf("server-p99-us-%s point = %+v", mode, p)
+		}
 	}
 }
 

@@ -1,0 +1,163 @@
+// Command tsbserve serves a TSB-tree database over TCP: the network
+// face of the engine, speaking the pipelined binary protocol of
+// internal/server/wire. It opens (or recovers) the database at -dir,
+// listens on -addr, and drains cleanly on SIGTERM/SIGINT: in-flight
+// request windows finish and are acknowledged, cursors close, and the
+// database closes last — every acknowledged commit is on disk before
+// the process exits.
+//
+// Usage:
+//
+//	tsbserve -dir DATA [-addr HOST:PORT] [-shards N] [-paged]
+//	         [-migration] [-checkpoint-bytes N]
+//	         [-window N] [-max-frame BYTES]
+//	         [-idle-timeout D] [-write-timeout D] [-lease D]
+//	         [-shed-queue N] [-shed-wal-bytes N] [-drain-timeout D]
+//
+//	tsbserve -status -addr HOST:PORT
+//
+// -status dials a running server and prints its stats surface
+// (connections, in-flight requests, shed count, open cursors, op
+// latency percentiles) instead of serving.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func main() {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	if err := run(os.Args[1:], os.Stdout, sigCh); err != nil {
+		fmt.Fprintln(os.Stderr, "tsbserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process plumbing: args are the command line,
+// stdout receives the human output, and sigCh delivers the shutdown
+// signal — tests inject a synthetic SIGTERM through it.
+func run(args []string, stdout io.Writer, sigCh <-chan os.Signal) error {
+	fs := flag.NewFlagSet("tsbserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:4611", "listen address (or dial address with -status)")
+	dir := fs.String("dir", "", "database directory (created or recovered; required to serve)")
+	shards := fs.Int("shards", 4, "shard count for a newly created database")
+	paged := fs.Bool("paged", false, "paged durable mode (disk page/burn devices)")
+	migration := fs.Bool("migration", false, "background time-split migration")
+	ckptBytes := fs.Int64("checkpoint-bytes", 0, "background checkpoint threshold (0 = engine default, <0 = off)")
+	window := fs.Int("window", 64, "per-connection in-flight request window")
+	maxFrame := fs.Int("max-frame", 0, "max frame payload bytes (0 = protocol default)")
+	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "close connections idle this long")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "per-flush write deadline")
+	lease := fs.Duration("lease", time.Minute, "server-side cursor lease")
+	shedQueue := fs.Int("shed-queue", 0, "shed writes at this migrator queue depth (0 = off)")
+	shedWAL := fs.Int64("shed-wal-bytes", 0, "shed writes at this WAL backlog (0 = off)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max graceful drain before severing connections")
+	status := fs.Bool("status", false, "print a running server's stats and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *status {
+		return printStatus(stdout, *addr)
+	}
+	if *dir == "" {
+		return errors.New("-dir is required (or -status to query a running server)")
+	}
+
+	d, err := db.Open(db.Config{
+		Dir:                 *dir,
+		Shards:              *shards,
+		PagedDevices:        *paged,
+		BackgroundMigration: *migration,
+		CheckpointBytes:     *ckptBytes,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(d, server.Config{
+		MaxFrameBytes:       *maxFrame,
+		Window:              *window,
+		IdleTimeout:         *idleTimeout,
+		WriteTimeout:        *writeTimeout,
+		CursorLease:         *lease,
+		ShedMigratorQueue:   *shedQueue,
+		ShedWALBacklogBytes: *shedWAL,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = d.Close()
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "caught %v, draining\n", sig)
+	case err := <-serveDone:
+		_ = d.Close()
+		if err != nil {
+			return err
+		}
+		return errors.New("listener closed unexpectedly")
+	}
+
+	// The drain order of the durability contract: stop intake, finish
+	// and acknowledge every in-flight batch, close cursors, then close
+	// the database (final checkpoint in durable mode).
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stdout, "drain timeout: %v (severed remaining connections)\n", err)
+	}
+	if err := <-serveDone; err != nil {
+		_ = d.Close()
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "drained: %d ops served, %d shed, p99 %dus\n", st.Ops, st.Shed, st.P99Micros)
+	if err := d.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "closed")
+	return nil
+}
+
+func printStatus(stdout io.Writer, addr string) error {
+	c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "tsbserve %s\n", addr)
+	fmt.Fprintf(stdout, "  connections: %d open, %d total\n", st.Conns, st.TotalConns)
+	fmt.Fprintf(stdout, "  in-flight:   %d\n", st.InFlight)
+	fmt.Fprintf(stdout, "  ops:         %d (%d shed)\n", st.Ops, st.Shed)
+	fmt.Fprintf(stdout, "  cursors:     %d open, %d reclaimed by lease\n", st.Cursors, st.CursorsReclaimed)
+	fmt.Fprintf(stdout, "  latency:     p50 %dus, p99 %dus\n", st.P50Micros, st.P99Micros)
+	if st.Draining {
+		fmt.Fprintln(stdout, "  draining")
+	}
+	return nil
+}

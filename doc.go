@@ -34,7 +34,13 @@
 //     fsync-batched write-ahead log of commit records plus logical
 //     checkpoints;
 //   - internal/workload, internal/metrics, internal/experiments: the
-//     evaluation harness (experiments E1-E15, see EXPERIMENTS.md).
+//     evaluation harness (experiments E1-E16, see EXPERIMENTS.md);
+//   - internal/server: the network service layer — a pipelined binary
+//     protocol over TCP (server/wire), session read snapshots, leased
+//     server-side cursors, per-tenant key-prefix namespaces, and
+//     watermark-based admission shedding — with the Go client in
+//     server/client and the daemon in cmd/tsbserve (see the "Service
+//     layer" section of docs/ARCHITECTURE.md).
 //
 // The engine is concurrent and sharded: db.Config.Shards partitions the
 // key space across N independent TSB-trees (key-range sharding, so range
@@ -107,8 +113,10 @@
 //
 // The benchmarks in bench_test.go regenerate every experiment and the
 // shard-scaling curves; the binaries under cmd/ print the experiment
-// tables (tsbench, including the concurrent E10 run and a -benchjson
-// perf-trajectory export), compare archived perf points across runs
-// (benchcmp), replay the paper's figures (figures), and dump tree
-// structure — including a cursor-streamed snapshot sample — (tsbdump).
+// tables (tsbench, including the concurrent E10 run, the served
+// closed-loop E16 run, and a -benchjson perf-trajectory export),
+// compare archived perf points across runs (benchcmp), replay the
+// paper's figures (figures), dump tree structure — including a
+// cursor-streamed snapshot sample — (tsbdump), and serve the engine
+// over the network with graceful SIGTERM drain (tsbserve).
 package repro

@@ -1,0 +1,56 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// TestWALBacklogAcrossCheckpoint pins the Stats().WAL.BacklogBytes
+// contract: it grows with appends, a checkpoint install re-anchors it
+// to zero, and it grows again from there — the real signal admission
+// control and the background checkpointer read.
+func TestWALBacklogAcrossCheckpoint(t *testing.T) {
+	d, err := Open(Config{Dir: t.TempDir(), Shards: 2, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if got := d.Stats().WAL.BacklogBytes; got != 0 {
+		t.Fatalf("fresh database backlog = %d, want 0", got)
+	}
+	put := func(i byte) {
+		t.Helper()
+		if err := d.Update(func(tx *txn.Txn) error {
+			return tx.Put(record.Key{i}, []byte("backlog-payload"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1)
+	put(2)
+	st := d.Stats().WAL
+	if st.BacklogBytes == 0 || st.BacklogBytes != st.Bytes {
+		t.Fatalf("pre-checkpoint backlog = %d (bytes %d), want equal and nonzero", st.BacklogBytes, st.Bytes)
+	}
+
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().WAL.BacklogBytes; got != 0 {
+		t.Fatalf("post-checkpoint backlog = %d, want 0", got)
+	}
+
+	before := d.Stats().WAL.Bytes
+	put(3)
+	st = d.Stats().WAL
+	if want := st.Bytes - before; st.BacklogBytes != want || want == 0 {
+		t.Fatalf("post-checkpoint append backlog = %d, want %d (nonzero)", st.BacklogBytes, want)
+	}
+}

@@ -357,11 +357,12 @@ type DB struct {
 	dir     string
 	dirLock *os.File // exclusive flock on dir/LOCK, held until Close
 	logWrap func(storage.LogFile) storage.LogFile
-	// cpMu serializes checkpoints (manual and background).
-	cpMu        sync.Mutex //tsb:latch level=1 name=checkpoint
-	cpLastBytes uint64     // WAL bytes at the last checkpoint
-	cpEvery     int64      // background trigger; <=0 disabled
-	cpErr       error      // sticky first background-checkpoint error (under cpMu)
+	// cpMu serializes checkpoints (manual and background). The WAL
+	// itself anchors the "bytes since last checkpoint" gauge
+	// (wal.Log.MarkCheckpoint / Stats().WAL.BacklogBytes).
+	cpMu    sync.Mutex //tsb:latch level=1 name=checkpoint
+	cpEvery int64      // background trigger; <=0 disabled
+	cpErr   error      // sticky first background-checkpoint error (under cpMu)
 	stopCp      chan struct{}
 	cpDone      sync.WaitGroup
 	closed      bool

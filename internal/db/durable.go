@@ -475,7 +475,7 @@ func (d *DB) checkpointLogicalLocked() error {
 	if err := d.wal.RemoveSegmentsBelow(d.wal.CurrentSegment()); err != nil {
 		return err
 	}
-	d.cpLastBytes = d.wal.Stats().Bytes
+	d.wal.MarkCheckpoint()
 	return nil
 }
 

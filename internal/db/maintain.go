@@ -131,10 +131,9 @@ func (d *DB) maintenanceJobs() []maintJob {
 			if d.cpEvery <= 0 {
 				return false
 			}
-			d.cpMu.Lock()
-			due := int64(d.wal.Stats().Bytes-d.cpLastBytes) >= d.cpEvery
-			d.cpMu.Unlock()
-			return due
+			// The log anchors the gauge itself (MarkCheckpoint under
+			// the wal mutex), so the probe needs no cpMu.
+			return int64(d.wal.Stats().BacklogBytes) >= d.cpEvery
 		},
 		run: d.Checkpoint,
 	}}

@@ -355,6 +355,6 @@ func (d *DB) checkpointPagedLocked() error {
 	if err := d.wal.RemoveSegmentsBelow(d.wal.CurrentSegment()); err != nil {
 		return err
 	}
-	d.cpLastBytes = d.wal.Stats().Bytes
+	d.wal.MarkCheckpoint()
 	return nil
 }

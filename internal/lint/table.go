@@ -46,6 +46,8 @@ func LatchTable() []LatchEntry {
 		{7, "buffer-pool", "repro/internal/buffer.Pool.mu", "mutex"},
 		{7, "page-file", "repro/internal/pagestore.PageFile.mu", "mutex"},
 		{7, "burn-file", "repro/internal/pagestore.BurnFile.mu", "mutex"},
+		{7, "server", "repro/internal/server.Server.mu", "mutex"},
+		{7, "server-cursors", "repro/internal/server.cursorTable.mu", "mutex"},
 		{8, "magnetic-disk", "repro/internal/storage.MagneticDisk.mu", "mutex"},
 		{8, "faulty-pages", "repro/internal/storage.FaultyPages.mu", "mutex"},
 		{8, "worm-disk", "repro/internal/storage.WORMDisk.mu", "mutex"},

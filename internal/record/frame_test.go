@@ -1,0 +1,147 @@
+package record
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 1000)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		var got []byte
+		var err error
+		got, rest, err = DecodeFrame(rest, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+
+	r := bytes.NewReader(buf)
+	for i, want := range payloads {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ReadFrame %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("at clean boundary: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, []byte("hello frame"))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeFrame(full[:cut], 0); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("cut=%d: got %v, want ErrFrameTruncated", cut, err)
+		}
+		if cut == 0 {
+			continue // a clean boundary is io.EOF for the stream reader
+		}
+		if _, err := ReadFrame(bytes.NewReader(full[:cut]), 0); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("ReadFrame cut=%d: got %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// A header claiming more than the caller's limit must fail before
+	// the payload is touched — even when those bytes are present.
+	buf := AppendFrame(nil, bytes.Repeat([]byte{1}, 100))
+	if _, _, err := DecodeFrame(buf, 99); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("limit 99: got %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf), 99); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame limit 99: got %v, want ErrFrameTooLarge", err)
+	}
+	if _, _, err := DecodeFrame(buf, 100); err != nil {
+		t.Fatalf("limit 100: %v", err)
+	}
+	// The absolute bound applies with no caller limit: a corrupt header
+	// claiming gigabytes must not trigger an allocation.
+	hdr := make([]byte, FrameHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(MaxFramePayload+1))
+	if _, err := ReadFrame(bytes.NewReader(hdr), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("absolute bound: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameCRC(t *testing.T) {
+	buf := AppendFrame(nil, []byte("checksummed"))
+	for i := FrameHeaderSize; i < len(buf); i++ {
+		bad := bytes.Clone(buf)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("flip %d: got %v, want ErrFrameCRC", i, err)
+		}
+		if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("ReadFrame flip %d: got %v, want ErrFrameCRC", i, err)
+		}
+	}
+}
+
+// FuzzFrameDecode is the wire-decoder robustness target: whatever bytes
+// arrive — torn frames, oversized length headers, corrupted payloads —
+// the decoder must return one of the typed errors or a payload that
+// re-encodes to exactly the bytes consumed. It must never panic, and
+// never read or allocate past the caller's limit.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, []byte("seed payload")), 0)
+	f.Add(AppendFrame(nil, nil), 64)
+	f.Add(AppendFrame(nil, bytes.Repeat([]byte{7}, 300)), 128) // over the caller's limit
+	f.Add(AppendFrame(nil, []byte("torn"))[:9], 0)             // mid-payload tear
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}, 0)       // huge claimed length
+	bad := AppendFrame(nil, []byte("crc"))
+	bad[len(bad)-1] ^= 1
+	f.Add(bad, 0) // corrupted payload
+	f.Add(append(AppendFrame(nil, []byte("first")), 0x01, 0x02), 0)
+	f.Fuzz(func(t *testing.T, data []byte, maxPayload int) {
+		if maxPayload < 0 {
+			maxPayload = -maxPayload
+		}
+		maxPayload %= 1 << 16
+		payload, rest, err := DecodeFrame(data, maxPayload)
+		if err != nil {
+			if !errors.Is(err, ErrFrameTruncated) && !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrFrameCRC) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			if len(rest) != len(data) {
+				t.Fatalf("error consumed input: %d of %d left", len(rest), len(data))
+			}
+		} else {
+			if maxPayload > 0 && len(payload) > maxPayload {
+				t.Fatalf("payload %d over limit %d", len(payload), maxPayload)
+			}
+			consumed := len(data) - len(rest)
+			if !bytes.Equal(AppendFrame(nil, payload), data[:consumed]) {
+				t.Fatalf("re-encode mismatch over %d consumed bytes", consumed)
+			}
+		}
+		// The stream reader must agree with the slice decoder, except
+		// that a zero-byte stream is a clean EOF.
+		sp, serr := ReadFrame(bytes.NewReader(data), maxPayload)
+		if err == nil {
+			if serr != nil || !bytes.Equal(sp, payload) {
+				t.Fatalf("ReadFrame disagrees: %q %v vs %q", sp, serr, payload)
+			}
+		} else if serr == nil {
+			t.Fatalf("ReadFrame succeeded where DecodeFrame failed: %v", err)
+		}
+	})
+}

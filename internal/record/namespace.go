@@ -1,0 +1,82 @@
+package record
+
+// Tenant namespaces: the service layer maps each tenant onto a disjoint
+// slice of the one shared key space by prefixing every user key with an
+// encoded tenant id. The encoding must be collision-proof — no tenant's
+// prefix may ever be produced by another tenant's prefix plus user key
+// bytes — and order-preserving, so range scans inside a tenant and
+// shard routing across tenants both follow byte order. Both properties
+// come from one escape:
+//
+//	tenant bytes:  0x00        -> 0x00 0xff   (escaped)
+//	               b != 0x00   -> b
+//	terminator:                   0x00 0x01
+//
+// Inside an escaped tenant a 0x00 is always followed by 0xff, so the
+// 0x00 0x01 terminator cannot occur inside one, cannot be split across
+// one's end (escape pairs are complete), and sorts below every escaped
+// continuation (0x00 0xff and any b >= 0x01). Hence encoded prefixes
+// are prefix-free — TenantPrefix(t2) is never a byte prefix of
+// PrefixKey(t1, k) unless t1 == t2, whatever k holds — and the encoded
+// order of tenants equals their byte order, with every key of a smaller
+// tenant sorting below every key of a larger one. The fuzz target
+// FuzzTenantNamespace exercises all of it.
+
+import "bytes"
+
+// tenant terminator, appended after the escaped tenant bytes.
+const (
+	nsEscape     = 0x00
+	nsEscapedLow = 0xff // 0x00 inside a tenant encodes as 0x00 0xff
+	nsTermLow    = 0x01 // terminator is 0x00 0x01
+	nsTermHigh   = 0x02 // range end is 0x00 0x02 (nothing encodes to it)
+)
+
+// TenantPrefix returns the encoded, terminated prefix of tenant: the
+// byte string every key of the tenant starts with. The empty tenant is
+// a valid tenant with the two-byte prefix {0x00, 0x01}.
+func TenantPrefix(tenant []byte) Key {
+	p := make([]byte, 0, len(tenant)+2)
+	for _, b := range tenant {
+		if b == nsEscape {
+			p = append(p, nsEscape, nsEscapedLow)
+			continue
+		}
+		p = append(p, b)
+	}
+	return append(p, nsEscape, nsTermLow)
+}
+
+// PrefixKey maps user key k into tenant's namespace: TenantPrefix
+// followed by the raw key bytes. Within one tenant the mapping is
+// order-preserving (raw bytes compare like the originals), and across
+// tenants the images are disjoint.
+func PrefixKey(tenant []byte, k Key) Key {
+	p := TenantPrefix(tenant)
+	return append(p, k...)
+}
+
+// StripPrefix undoes PrefixKey: it returns the user key embedded in k
+// and whether k belongs to tenant's namespace at all. The returned key
+// aliases k. Because encoded prefixes are prefix-free, a key of one
+// tenant never strips successfully under another, whatever bytes the
+// embedded user key holds.
+func StripPrefix(tenant []byte, k Key) (Key, bool) {
+	p := TenantPrefix(tenant)
+	if !bytes.HasPrefix(k, p) {
+		return nil, false
+	}
+	return Key(k[len(p):]), true
+}
+
+// TenantRange returns the half-open key range [low, high) holding
+// exactly tenant's keys: low is the tenant's prefix (its smallest
+// possible key, the empty user key) and high replaces the terminator
+// 0x00 0x01 with 0x00 0x02, which no encoding produces, so the bound is
+// exclusive of every other tenant.
+func TenantRange(tenant []byte) (low Key, high Bound) {
+	low = TenantPrefix(tenant)
+	h := append(Key(nil), low...)
+	h[len(h)-1] = nsTermHigh
+	return low, KeyBound(h)
+}

@@ -1,0 +1,129 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNamespaceRoundTrip(t *testing.T) {
+	tenants := [][]byte{nil, {}, []byte("acme"), {0x00}, {0x00, 0x01}, {0x00, 0xff}, []byte("a\x00b")}
+	keys := []Key{nil, {}, StringKey("user/1"), {0x00}, {0x00, 0x01}, {0x00, 0x02}, {0xff, 0xff}}
+	for _, tn := range tenants {
+		for _, k := range keys {
+			pk := PrefixKey(tn, k)
+			got, ok := StripPrefix(tn, pk)
+			if !ok || !bytes.Equal(got, k) {
+				t.Fatalf("tenant %x key %x: strip got %x ok=%v", tn, k, got, ok)
+			}
+			low, high := TenantRange(tn)
+			if pk.Compare(low) < 0 || high.CompareKey(pk) <= 0 {
+				t.Fatalf("tenant %x key %x: %x outside [%x, %v)", tn, k, pk, low, high)
+			}
+		}
+	}
+}
+
+// TestNamespaceCollision drives the escape's reason to exist: without
+// it, tenant "" holding key {0x00,0x01,...} would collide with keys of
+// a tenant whose encoding starts the same way.
+func TestNamespaceCollision(t *testing.T) {
+	cases := []struct{ t1, t2 []byte }{
+		{nil, []byte{0x00}},
+		{[]byte{0x00}, []byte{0x00, 0x00}},
+		{[]byte("a"), []byte("a\x00")},
+		{[]byte("a"), []byte("ab")},
+		{[]byte("a\x00"), []byte("a\x01")},
+	}
+	keys := []Key{nil, {0x00, 0x01}, {0x00, 0x01, 0x78}, {0x00, 0xff}, {0x01}, {0xff}}
+	for _, c := range cases {
+		for _, k := range keys {
+			if _, ok := StripPrefix(c.t2, PrefixKey(c.t1, k)); ok {
+				t.Fatalf("tenant %x key %x strips under tenant %x", c.t1, k, c.t2)
+			}
+			if _, ok := StripPrefix(c.t1, PrefixKey(c.t2, k)); ok {
+				t.Fatalf("tenant %x key %x strips under tenant %x", c.t2, k, c.t1)
+			}
+		}
+	}
+}
+
+func TestNamespaceOrder(t *testing.T) {
+	tn := []byte("ord")
+	keys := []Key{nil, {0x00}, {0x00, 0x00}, {0x00, 0x01}, {0x01}, StringKey("a"), StringKey("a\x00"), StringKey("b"), {0xff}}
+	for i, a := range keys {
+		for j, b := range keys {
+			want := a.Compare(b)
+			if got := PrefixKey(tn, a).Compare(PrefixKey(tn, b)); sign(got) != sign(want) {
+				t.Fatalf("order not preserved: keys %d,%d: %d vs %d", i, j, got, want)
+			}
+		}
+	}
+	// Tenant order carries over: every key of the smaller tenant sorts
+	// below every key of the larger one.
+	tenants := [][]byte{nil, {0x00}, {0x00, 0x00}, {0x00, 0x01}, {0x01}, []byte("a"), []byte("a\x00"), []byte("a\x01"), []byte("ab")}
+	for i := 0; i < len(tenants); i++ {
+		for j := i + 1; j < len(tenants); j++ {
+			lo, hi := tenants[i], tenants[j]
+			if bytes.Compare(lo, hi) > 0 {
+				lo, hi = hi, lo
+			}
+			if !PrefixKey(lo, Key{0xff, 0xff, 0xff}).Less(PrefixKey(hi, nil)) {
+				t.Fatalf("tenant %x keys not all below tenant %x keys", lo, hi)
+			}
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+// FuzzTenantNamespace proves the namespace contract over arbitrary
+// tenants and keys: round-trip, order preservation within a tenant,
+// range containment, and cross-tenant disjointness (no strip under the
+// wrong tenant, full separation of the encoded ranges).
+func FuzzTenantNamespace(f *testing.F) {
+	f.Add([]byte("acme"), []byte("beta"), []byte("k1"), []byte("k2"))
+	f.Add([]byte{}, []byte{0x00}, []byte{0x00, 0x01}, []byte{})
+	f.Add([]byte("a"), []byte("a\x00"), []byte{0xff}, []byte{0x00, 0x01, 0x78})
+	f.Add([]byte{0x00, 0xff}, []byte{0x00, 0x00}, []byte{0x01}, []byte{0x02})
+	f.Fuzz(func(t *testing.T, t1, t2, k1b, k2b []byte) {
+		k1, k2 := Key(k1b), Key(k2b)
+		p1 := PrefixKey(t1, k1)
+		if got, ok := StripPrefix(t1, p1); !ok || !bytes.Equal(got, k1) {
+			t.Fatalf("round trip: %x -> %x -> %x ok=%v", k1, p1, got, ok)
+		}
+		if sign(p1.Compare(PrefixKey(t1, k2))) != sign(k1.Compare(k2)) {
+			t.Fatalf("order not preserved for %x,%x under %x", k1, k2, t1)
+		}
+		low, high := TenantRange(t1)
+		if p1.Compare(low) < 0 || high.CompareKey(p1) <= 0 {
+			t.Fatalf("%x outside its tenant range [%x,%v)", p1, low, high)
+		}
+		if bytes.Equal(t1, t2) {
+			return
+		}
+		if _, ok := StripPrefix(t2, p1); ok {
+			t.Fatalf("tenant %x key strips under tenant %x", t1, t2)
+		}
+		low2, high2 := TenantRange(t2)
+		if p1.Compare(low2) >= 0 && high2.CompareKey(p1) > 0 {
+			t.Fatalf("tenant %x key %x inside tenant %x's range", t1, p1, t2)
+		}
+		// Full separation: the smaller tenant's largest conceivable key
+		// still sorts below the larger tenant's smallest.
+		lo, hi := t1, t2
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		if !PrefixKey(lo, append(k1.Clone(), 0xff, 0xff)).Less(TenantPrefix(hi)) {
+			t.Fatalf("tenants %x and %x interleave", lo, hi)
+		}
+	})
+}

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/record"
+	"repro/internal/server/wire"
+	"repro/internal/txn"
+)
+
+// session is one connection's server-side state: the tenant namespace,
+// the pinned read snapshot, and the cursors it owns (reaped on close).
+type session struct {
+	id     uint64
+	hello  bool
+	tenant []byte
+	at     record.Timestamp // pinned read snapshot
+	nsLow  record.Key       // TenantRange(tenant)
+	nsHigh record.Bound
+}
+
+// conn runs one connection's pipeline. Only the executor goroutine
+// touches sess, so it needs no lock.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	sess session
+}
+
+// serveConn is the reader side of the pipeline and owns the connection's
+// lifecycle. It decodes frames into reqCh (capacity = the pipelining
+// window); the executor turns each into a response on respCh; the
+// writer streams responses back in order, flushing whenever the channel
+// runs dry (one syscall per burst, not per response).
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.connWg.Done()
+	defer s.unregister(nc)
+	defer func() { _ = nc.Close() }()
+
+	c := &conn{
+		srv:  s,
+		nc:   nc,
+		br:   bufio.NewReaderSize(nc, 1<<12),
+		bw:   bufio.NewWriterSize(nc, 1<<12),
+		sess: session{id: s.nextSession.Add(1)},
+	}
+	reqCh := make(chan []byte, s.cfg.Window)
+	respCh := make(chan []byte, s.cfg.Window)
+
+	var pipeWg sync.WaitGroup
+	pipeWg.Add(2)
+
+	// Executor: strictly in order, one request at a time. A nil payload
+	// is the reader's bad-frame sentinel — answer it, then the reader's
+	// close of reqCh ends the loop. When the loop ends no more fetches
+	// can arrive, so the session's cursors are reaped here, before the
+	// connection is unregistered.
+	go func() {
+		defer pipeWg.Done()
+		defer close(respCh)
+		for payload := range reqCh {
+			start := time.Now()
+			resp := c.execute(payload)
+			s.hist.observe(time.Since(start))
+			s.ops.Add(1)
+			respCh <- resp
+		}
+		s.curs.removeSession(c.sess.id)
+	}()
+
+	// Writer: drains respCh even after a write error so the executor
+	// never blocks, and keeps the in-flight gauge exact either way.
+	go func() {
+		defer pipeWg.Done()
+		var werr error
+		for frame := range respCh {
+			if werr == nil {
+				if s.cfg.WriteTimeout > 0 {
+					_ = nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+				}
+				_, werr = c.bw.Write(frame)
+				if werr == nil && len(respCh) == 0 {
+					werr = c.bw.Flush()
+				}
+			}
+			s.inFlight.Add(-1)
+		}
+		if werr == nil {
+			_ = c.bw.Flush()
+		}
+	}()
+
+	// Reader. A CRC or size violation is answered with one typed error
+	// and then the connection closes — after either, the stream offset
+	// can no longer be trusted.
+	for {
+		if !s.armRead(nc) {
+			break
+		}
+		payload, err := record.ReadFrame(c.br, s.cfg.MaxFrameBytes)
+		if err != nil {
+			if errors.Is(err, record.ErrFrameTooLarge) || errors.Is(err, record.ErrFrameCRC) {
+				s.inFlight.Add(1)
+				reqCh <- nil
+			}
+			break
+		}
+		s.inFlight.Add(1)
+		reqCh <- payload
+	}
+	close(reqCh)
+	pipeWg.Wait()
+}
+
+// execute turns one request payload into one response frame, ready to
+// write. It runs on the executor goroutine only.
+func (c *conn) execute(payload []byte) []byte {
+	body := c.respond(payload)
+	return record.AppendFrame(nil, body)
+}
+
+func errResp(code byte, msg string) []byte {
+	return wire.AppendError(nil, code, msg)
+}
+
+// dbErrResp maps an engine error onto the wire: no-wait lock conflicts
+// are the retryable CodeConflict, everything else is CodeInternal.
+func dbErrResp(err error) []byte {
+	if errors.Is(err, txn.ErrLockConflict) {
+		return errResp(wire.CodeConflict, err.Error())
+	}
+	return errResp(wire.CodeInternal, err.Error())
+}
+
+func (c *conn) respond(payload []byte) []byte {
+	if payload == nil {
+		return errResp(wire.CodeBadRequest, "malformed frame")
+	}
+	d := record.NewDecoder(payload)
+	op := d.Byte()
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "empty request")
+	}
+	if !c.sess.hello && op != wire.OpHello {
+		return errResp(wire.CodeBadRequest, "first request must be hello")
+	}
+	switch op {
+	case wire.OpHello:
+		return c.opHello(d)
+	case wire.OpPut:
+		return c.opPut(d)
+	case wire.OpGet:
+		return c.opGet(d)
+	case wire.OpDelete:
+		return c.opDelete(d)
+	case wire.OpCommit:
+		return c.opCommit(d)
+	case wire.OpOpenCursor:
+		return c.opOpenCursor(d)
+	case wire.OpFetch:
+		return c.opFetch(d)
+	case wire.OpCloseCursor:
+		return c.opCloseCursor(d)
+	case wire.OpRefresh:
+		return c.opRefresh(d)
+	case wire.OpStats:
+		return c.opStats(d)
+	case wire.OpPing:
+		return c.opPing(d)
+	}
+	return errResp(wire.CodeBadRequest, "unknown op")
+}
+
+// ok starts an OK response body.
+func ok() *record.Encoder {
+	e := record.NewEncoder(make([]byte, 0, 32))
+	e.Byte(wire.StatusOK)
+	return e
+}
+
+func (c *conn) opHello(d *record.Decoder) []byte {
+	if c.sess.hello {
+		return errResp(wire.CodeBadRequest, "duplicate hello")
+	}
+	h, err := wire.DecodeHello(d)
+	if err != nil {
+		return errResp(wire.CodeBadRequest, err.Error())
+	}
+	if h.Version != wire.ProtocolVersion {
+		return errResp(wire.CodeBadRequest, "unsupported protocol version")
+	}
+	at := h.At
+	if at == 0 {
+		at = c.srv.db.Now()
+	}
+	tenant := append([]byte(nil), h.Tenant...) // payload buffer is transient
+	low, high := record.TenantRange(tenant)
+	c.sess.hello = true
+	c.sess.tenant = tenant
+	c.sess.at = at
+	c.sess.nsLow = low
+	c.sess.nsHigh = high
+	e := ok()
+	e.Time(at)
+	return e.Bytes()
+}
+
+// commit runs fn inside DB.Update and returns the commit timestamp.
+func (c *conn) commit(fn func(*txn.Txn) error) (record.Timestamp, error) {
+	var tx *txn.Txn
+	err := c.srv.db.Update(func(t *txn.Txn) error {
+		tx = t
+		return fn(t)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return tx.CommitTime(), nil
+}
+
+func (c *conn) opPut(d *record.Decoder) []byte {
+	if resp := c.srv.admit(); resp != nil {
+		return resp
+	}
+	k := d.Key()
+	v := d.Blob()
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short put")
+	}
+	ct, err := c.commit(func(t *txn.Txn) error {
+		return t.Put(record.PrefixKey(c.sess.tenant, k), v)
+	})
+	if err != nil {
+		return dbErrResp(err)
+	}
+	e := ok()
+	e.Time(ct)
+	return e.Bytes()
+}
+
+func (c *conn) opDelete(d *record.Decoder) []byte {
+	if resp := c.srv.admit(); resp != nil {
+		return resp
+	}
+	k := d.Key()
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short delete")
+	}
+	ct, err := c.commit(func(t *txn.Txn) error {
+		return t.Delete(record.PrefixKey(c.sess.tenant, k))
+	})
+	if err != nil {
+		return dbErrResp(err)
+	}
+	e := ok()
+	e.Time(ct)
+	return e.Bytes()
+}
+
+func (c *conn) opCommit(d *record.Decoder) []byte {
+	if resp := c.srv.admit(); resp != nil {
+		return resp
+	}
+	ops, err := wire.DecodeCommit(d)
+	if err != nil {
+		return errResp(wire.CodeBadRequest, err.Error())
+	}
+	ct, err := c.commit(func(t *txn.Txn) error {
+		for _, op := range ops {
+			pk := record.PrefixKey(c.sess.tenant, op.Key)
+			if op.Delete {
+				if err := t.Delete(pk); err != nil {
+					return err
+				}
+			} else if err := t.Put(pk, op.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return dbErrResp(err)
+	}
+	e := ok()
+	e.Time(ct)
+	return e.Bytes()
+}
+
+func (c *conn) opGet(d *record.Decoder) []byte {
+	k := d.Key()
+	at := d.Time()
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short get")
+	}
+	if at == 0 {
+		at = c.sess.at
+	}
+	v, found, err := c.srv.db.GetAsOf(record.PrefixKey(c.sess.tenant, k), at)
+	if err != nil {
+		return dbErrResp(err)
+	}
+	e := ok()
+	e.Bool(found)
+	if found {
+		sk, okStrip := record.StripPrefix(c.sess.tenant, v.Key)
+		if !okStrip {
+			return errResp(wire.CodeInternal, "version outside session namespace")
+		}
+		v.Key = sk
+		e.Version(v)
+	}
+	return e.Bytes()
+}
+
+func (c *conn) opOpenCursor(d *record.Decoder) []byte {
+	oc, err := wire.DecodeOpenCursor(d)
+	if err != nil {
+		return errResp(wire.CodeBadRequest, err.Error())
+	}
+	at := oc.At
+	if at == 0 {
+		at = c.sess.at
+	}
+	// Translate the tenant-relative range into the namespaced keyspace.
+	low := record.PrefixKey(c.sess.tenant, oc.Low)
+	high := c.sess.nsHigh
+	if !oc.High.IsInfinite() {
+		high = record.KeyBound(record.PrefixKey(c.sess.tenant, oc.High.Key()))
+	}
+	remaining := -1
+	if oc.Limit > 0 {
+		remaining = int(min(oc.Limit, 1<<31))
+	}
+	id := c.srv.curs.add(&cursorState{
+		sess:      c.sess.id,
+		low:       low,
+		high:      high,
+		at:        at,
+		remaining: remaining,
+		reverse:   oc.Reverse,
+		expires:   time.Now().Add(c.srv.cfg.CursorLease),
+	})
+	e := ok()
+	e.Uvarint(id)
+	return e.Bytes()
+}
+
+// opFetch returns one batch from a server-side cursor. It opens a fresh
+// DB cursor positioned by the saved resume state, drains at most one
+// batch, and lets it go — between fetch frames the server holds no DB
+// latch, snapshot handle, or heap beyond the resume struct, so an
+// abandoned client cursor costs one table entry until its lease
+// expires.
+func (c *conn) opFetch(d *record.Decoder) []byte {
+	id := d.Uvarint()
+	maxN := d.Uvarint()
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short fetch")
+	}
+	if maxN == 0 {
+		maxN = 128
+	}
+	maxN = min(maxN, 1024)
+
+	cu, found := c.srv.curs.checkout(id, c.sess.id, time.Now().Add(c.srv.cfg.CursorLease))
+	if !found {
+		return errResp(wire.CodeUnknownCursor, "no such cursor (closed, expired, or another session's)")
+	}
+	if cu.remaining == 0 {
+		// The client Limit is spent: terminal empty batch.
+		c.srv.curs.checkin(id, cu, nil, 0, true)
+		e := ok()
+		e.Uvarint(0)
+		e.Bool(true)
+		return e.Bytes()
+	}
+
+	n := int(maxN)
+	if cu.remaining > 0 {
+		n = min(n, cu.remaining)
+	}
+	opts := db.ScanOptions{Reverse: cu.reverse, Limit: n}
+	low, high := cu.low, cu.high
+	if cu.last != nil {
+		if cu.reverse {
+			high = record.KeyBound(cu.last) // exclusive: resumes strictly below
+		} else {
+			opts.After = cu.last
+		}
+	}
+
+	// Size-aware batch: stop early rather than overflow the frame.
+	budget := c.srv.cfg.MaxFrameBytes - 256
+	e := ok()
+	count := 0
+	sized := false
+	var last record.Key
+	cur := c.srv.db.ReadAt(cu.at).Cursor(low, high, opts)
+	for cur.Next() {
+		v := cur.Version()
+		last = append([]byte(nil), v.Key...)
+		sk, okStrip := record.StripPrefix(c.sess.tenant, v.Key)
+		if !okStrip {
+			c.srv.curs.checkin(id, cu, nil, 0, true)
+			return errResp(wire.CodeInternal, "cursor version outside session namespace")
+		}
+		v.Key = sk
+		count++
+		e.Uvarint(1) // "another version follows"
+		e.Version(v)
+		if e.Len() >= budget {
+			sized = true
+			break
+		}
+	}
+	if err := cur.Err(); err != nil {
+		c.srv.curs.checkin(id, cu, nil, 0, false)
+		return dbErrResp(err)
+	}
+	// Done when the range is exhausted (neither the batch cap nor the
+	// size budget stopped us) or the client's Limit is spent.
+	done := (count < n && !sized) || (cu.remaining > 0 && count >= cu.remaining)
+	c.srv.curs.checkin(id, cu, last, count, done)
+	e.Uvarint(0) // end of batch
+	e.Bool(done)
+	return e.Bytes()
+}
+
+func (c *conn) opCloseCursor(d *record.Decoder) []byte {
+	id := d.Uvarint()
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short close-cursor")
+	}
+	c.srv.curs.remove(id, c.sess.id)
+	return ok().Bytes() // idempotent: closing a gone cursor is fine
+}
+
+func (c *conn) opRefresh(d *record.Decoder) []byte {
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short refresh")
+	}
+	c.sess.at = c.srv.db.Now()
+	e := ok()
+	e.Time(c.sess.at)
+	return e.Bytes()
+}
+
+func (c *conn) opStats(d *record.Decoder) []byte {
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short stats")
+	}
+	st := c.srv.Stats().WireStats()
+	return wire.AppendStatsReply(ok().Bytes(), st)
+}
+
+func (c *conn) opPing(d *record.Decoder) []byte {
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short ping")
+	}
+	e := ok()
+	e.Time(c.srv.db.Now())
+	return e.Bytes()
+}

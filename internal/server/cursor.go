@@ -1,0 +1,131 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/record"
+)
+
+// cursorState is everything the server remembers about a client's open
+// range scan between fetches: bounds, snapshot, resume position, and
+// lease. No DB cursor, latch, or snapshot handle lives here — each
+// fetch re-opens and abandons a fresh engine cursor, so an idle or
+// abandoned client scan blocks nothing.
+type cursorState struct {
+	sess      uint64
+	low       record.Key
+	high      record.Bound
+	at        record.Timestamp
+	last      record.Key // resume key: last key returned, nil before the first batch
+	remaining int        // client Limit countdown; -1 = unlimited
+	reverse   bool
+	expires   time.Time
+	busy      bool // checked out by a fetch; janitor must not reap
+}
+
+// cursorTable owns every open server-side cursor. Its mutex is a leaf,
+// held only for map bookkeeping — never across a DB call (fetches check
+// a cursor out, scan with no table lock held, and check it back in).
+type cursorTable struct {
+	mu        sync.Mutex //tsb:latch level=7 name=server-cursors
+	next      uint64
+	open      map[uint64]*cursorState
+	reclaimed uint64
+}
+
+func (t *cursorTable) init() {
+	t.open = make(map[uint64]*cursorState)
+}
+
+func (t *cursorTable) add(cu *cursorState) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	id := t.next
+	t.open[id] = cu
+	return id
+}
+
+// checkout hands the cursor to a fetch if it exists, belongs to sess,
+// and is not already checked out. The lease renews immediately so the
+// janitor cannot reap a cursor whose fetch is running long.
+func (t *cursorTable) checkout(id, sess uint64, renewTo time.Time) (*cursorState, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cu, found := t.open[id]
+	if !found || cu.sess != sess || cu.busy {
+		return nil, false
+	}
+	cu.busy = true
+	cu.expires = renewTo
+	return cu, true
+}
+
+// checkin returns the cursor after a fetch: done removes it, otherwise
+// the resume position advances (last non-nil only when the batch
+// yielded keys) and the limit countdown shrinks.
+func (t *cursorTable) checkin(id uint64, cu *cursorState, last record.Key, yielded int, done bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cu.busy = false
+	if done {
+		delete(t.open, id)
+		return
+	}
+	if last != nil {
+		cu.last = last
+	}
+	if cu.remaining > 0 {
+		cu.remaining = max(cu.remaining-yielded, 0)
+	}
+}
+
+// remove closes a cursor if it exists and belongs to sess.
+func (t *cursorTable) remove(id, sess uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cu, found := t.open[id]
+	if !found || cu.sess != sess {
+		return false
+	}
+	delete(t.open, id)
+	return true
+}
+
+// removeSession reaps every cursor a closing session left behind.
+func (t *cursorTable) removeSession(sess uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, cu := range t.open {
+		if cu.sess == sess {
+			delete(t.open, id)
+		}
+	}
+}
+
+// reapExpired removes cursors whose lease lapsed — the abandoned-scan
+// backstop. In-flight fetches (busy) are skipped; their checkout
+// already renewed the lease.
+func (t *cursorTable) reapExpired(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, cu := range t.open {
+		if !cu.busy && now.After(cu.expires) {
+			delete(t.open, id)
+			t.reclaimed++
+		}
+	}
+}
+
+func (t *cursorTable) counts() (open int, reclaimed uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.open), t.reclaimed
+}
+
+func (t *cursorTable) clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.open)
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free log2 histogram of op execution latency in
+// microseconds: bucket i holds observations whose microsecond count has
+// bit length i (i.e. [2^(i-1), 2^i), bucket 0 is sub-microsecond).
+// Percentiles report the bucket's upper bound — within 2x of truth,
+// which is what a load-shedding operator needs from a p99, at the cost
+// of two atomic adds per op.
+type latencyHist struct {
+	buckets [40]atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us)
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+}
+
+// percentile returns the upper bound, in microseconds, of the bucket
+// containing the p-th observation (0 when nothing was observed).
+func (h *latencyHist) percentile(p float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<uint(len(h.buckets)) - 1
+}

@@ -48,7 +48,6 @@
 package wal
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -129,12 +128,20 @@ func (o Options) wrap(f storage.LogFile) storage.LogFile {
 }
 
 // Stats is the log writer's accounting. Records/Syncs is the group
-// commit amortization factor.
+// commit amortization factor; BacklogBytes is the admission-control and
+// checkpoint-scheduling gauge — bytes appended since the last
+// checkpoint install (MarkCheckpoint), i.e. the log tail a crash right
+// now would replay.
 type Stats struct {
 	Appends uint64 // batches appended
 	Records uint64 // commit records appended
 	Syncs   uint64 // fsyncs issued for appends
 	Bytes   uint64 // bytes durably written to segments
+	// BacklogBytes is Bytes minus the value it held when MarkCheckpoint
+	// last ran: the un-checkpointed log tail. After a reopen it counts
+	// from the reopened log (the replayed tail was just applied, and
+	// the recovery path's first checkpoint re-anchors it).
+	BacklogBytes uint64
 }
 
 // Log is the append side of the write-ahead log. It is safe for
@@ -148,6 +155,9 @@ type Log struct {
 	lsn    uint64
 	broken error
 	stats  Stats
+	// ckptBytes is stats.Bytes at the last MarkCheckpoint: the anchor
+	// Stats derives BacklogBytes from.
+	ckptBytes uint64
 }
 
 // Open opens a log in opts.Dir for appending, starting a fresh segment
@@ -190,12 +200,11 @@ func encodeCommit(lsn uint64, rec txn.CommitRecord) []byte {
 	return e.Bytes()
 }
 
-// appendFrame appends one CRC frame around payload.
+// appendFrame appends one CRC frame around payload — the shared wire
+// framing (record.AppendFrame); the network service layer speaks the
+// same shape.
 func appendFrame(buf, payload []byte) []byte {
-	var hdr [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-	return append(append(buf, hdr[:]...), payload...)
+	return record.AppendFrame(buf, payload)
 }
 
 // AppendBatch appends one frame per commit record and makes them all
@@ -289,7 +298,18 @@ func (l *Log) LastLSN() uint64 {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	st := l.stats
+	st.BacklogBytes = st.Bytes - l.ckptBytes
+	return st
+}
+
+// MarkCheckpoint anchors the backlog gauge: the checkpointer calls it
+// once a checkpoint is durably installed, and Stats reports the bytes
+// appended since as BacklogBytes.
+func (l *Log) MarkCheckpoint() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ckptBytes = l.stats.Bytes
 }
 
 // Close closes the current segment. Further appends fail.
