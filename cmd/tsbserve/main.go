@@ -10,15 +10,22 @@
 //
 //	tsbserve -dir DATA [-addr HOST:PORT] [-shards N] [-paged]
 //	         [-migration] [-checkpoint-bytes N]
+//	         [-metrics-addr HOST:PORT]
 //	         [-window N] [-max-frame BYTES]
 //	         [-idle-timeout D] [-write-timeout D] [-lease D]
 //	         [-shed-queue N] [-shed-wal-bytes N] [-drain-timeout D]
 //
-//	tsbserve -status -addr HOST:PORT
+//	tsbserve -status [-watch D] -addr HOST:PORT
 //
 // -status dials a running server and prints its stats surface
-// (connections, in-flight requests, shed count, open cursors, op
-// latency percentiles) instead of serving.
+// (connections, in-flight requests, shed count, open cursors, and op
+// latency percentiles overall and per op class) instead of serving;
+// -watch re-samples every interval and adds throughput deltas.
+//
+// -metrics-addr starts an HTTP sidecar on the serving process exposing
+// /metrics (Prometheus text), /debug/vars (JSON), /debug/events and
+// /debug/slow (background-job trace rings), and /debug/pprof/*. The
+// sidecar reads atomic instruments only — scrapes take no engine latch.
 package main
 
 import (
@@ -28,14 +35,17 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/server/wire"
 )
 
 func main() {
@@ -66,13 +76,15 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal) error {
 	shedQueue := fs.Int("shed-queue", 0, "shed writes at this migrator queue depth (0 = off)")
 	shedWAL := fs.Int64("shed-wal-bytes", 0, "shed writes at this WAL backlog (0 = off)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max graceful drain before severing connections")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP observability sidecar address (/metrics, /debug/*; empty = off)")
 	status := fs.Bool("status", false, "print a running server's stats and exit")
+	watch := fs.Duration("watch", 0, "with -status, re-sample every interval until interrupted")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *status {
-		return printStatus(stdout, *addr)
+		return printStatus(stdout, *addr, *watch, sigCh)
 	}
 	if *dir == "" {
 		return errors.New("-dir is required (or -status to query a running server)")
@@ -105,6 +117,22 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal) error {
 	}
 	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
 
+	// Observability sidecar: the server's instruments join the engine's
+	// registry, then one handler exposes the whole surface.
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		srv.RegisterMetrics(d.Metrics())
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			_ = ln.Close()
+			_ = d.Close()
+			return err
+		}
+		msrv = &http.Server{Handler: obs.Handler(d.Metrics(), d.Events())}
+		go func() { _ = msrv.Serve(mln) }()
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", mln.Addr())
+	}
+
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
 
@@ -127,6 +155,9 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stdout, "drain timeout: %v (severed remaining connections)\n", err)
 	}
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 	if err := <-serveDone; err != nil {
 		_ = d.Close()
 		return err
@@ -140,7 +171,7 @@ func run(args []string, stdout io.Writer, sigCh <-chan os.Signal) error {
 	return nil
 }
 
-func printStatus(stdout io.Writer, addr string) error {
+func printStatus(stdout io.Writer, addr string, watch time.Duration, sigCh <-chan os.Signal) error {
 	c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
 	if err != nil {
 		return err
@@ -150,14 +181,50 @@ func printStatus(stdout io.Writer, addr string) error {
 	if err != nil {
 		return err
 	}
+	renderStatus(stdout, addr, st, nil, 0)
+	if watch <= 0 {
+		return nil
+	}
+	t := time.NewTicker(watch)
+	defer t.Stop()
+	for {
+		select {
+		case <-sigCh:
+			return nil
+		case <-t.C:
+			prev := st
+			st, err = c.Stats()
+			if err != nil {
+				return err
+			}
+			renderStatus(stdout, addr, st, &prev, watch)
+		}
+	}
+}
+
+// renderStatus prints one stats sample; with a previous sample it adds
+// the interval's throughput deltas.
+func renderStatus(stdout io.Writer, addr string, st wire.StatsReply, prev *wire.StatsReply, iv time.Duration) {
 	fmt.Fprintf(stdout, "tsbserve %s\n", addr)
 	fmt.Fprintf(stdout, "  connections: %d open, %d total\n", st.Conns, st.TotalConns)
 	fmt.Fprintf(stdout, "  in-flight:   %d\n", st.InFlight)
-	fmt.Fprintf(stdout, "  ops:         %d (%d shed)\n", st.Ops, st.Shed)
+	fmt.Fprintf(stdout, "  ops:         %d executed\n", st.Ops)
+	fmt.Fprintf(stdout, "  overload:    %d writes shed by admission control\n", st.Shed)
 	fmt.Fprintf(stdout, "  cursors:     %d open, %d reclaimed by lease\n", st.Cursors, st.CursorsReclaimed)
 	fmt.Fprintf(stdout, "  latency:     p50 %dus, p99 %dus\n", st.P50Micros, st.P99Micros)
+	if prev != nil && iv > 0 {
+		secs := iv.Seconds()
+		fmt.Fprintf(stdout, "  interval:    %.0f ops/s, %.0f shed/s\n",
+			float64(st.Ops-prev.Ops)/secs, float64(st.Shed-prev.Shed)/secs)
+	}
+	if len(st.PerOp) > 0 {
+		fmt.Fprintf(stdout, "  %-14s %10s %10s %10s %10s\n", "per-op", "count", "p50", "p99", "max")
+		for _, oc := range st.PerOp {
+			fmt.Fprintf(stdout, "  %-14s %10d %8dus %8dus %8dus\n",
+				oc.Name, oc.Count, oc.P50Micros, oc.P99Micros, oc.MaxMicros)
+		}
+	}
 	if st.Draining {
 		fmt.Fprintln(stdout, "  draining")
 	}
-	return nil
 }

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -11,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/server/client"
 )
@@ -213,7 +217,10 @@ func TestStatusFlag(t *testing.T) {
 	if err := run([]string{"-status", "-addr", addr}, &status, nil); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"connections:", "ops:", "cursors:", "latency:"} {
+	for _, want := range []string{
+		"connections:", "ops:", "overload:", "cursors:", "latency:",
+		"per-op", "hello", "put",
+	} {
 		if !strings.Contains(status.String(), want) {
 			t.Fatalf("status output missing %q:\n%s", want, status.String())
 		}
@@ -223,4 +230,129 @@ func TestStatusFlag(t *testing.T) {
 	if err := <-runDone; err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestMetricsScrape is the exposition contract against a live daemon:
+// -metrics-addr serves /metrics, the output survives a scraper-grade
+// parse, and the required engine and server series are present with
+// real observations behind them. This is the test CI's scrape smoke
+// runs under -race.
+func TestMetricsScrape(t *testing.T) {
+	dir := t.TempDir()
+	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
+	out := &prefixWriter{line: func(line string) {
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			select {
+			case addrCh <- rest:
+			default:
+			}
+		}
+		if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+			select {
+			case metricsCh <- rest:
+			default:
+			}
+		}
+	}}
+	sigCh := make(chan os.Signal, 1)
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run([]string{
+			"-dir", dir, "-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+		}, out, sigCh)
+	}()
+	var addr, metricsURL string
+	for addr == "" || metricsURL == "" {
+		select {
+		case addr = <-addrCh:
+		case metricsURL = <-metricsCh:
+		case err := <-runDone:
+			t.Fatalf("daemon exited: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never announced its addresses")
+		}
+	}
+
+	// Drive real work through every instrumented layer: durable commits
+	// (WAL fsync, commit latency), reads (shard latches), a scan.
+	c, err := client.Dial(addr, client.Options{Tenant: []byte("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		key := record.Key(fmt.Sprintf("k%03d", i))
+		if _, err := c.Put(key, []byte("scrape-me")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	body := httpGet(t, metricsURL)
+	samples, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("scraper rejected /metrics: %v\n%s", err, body)
+	}
+	required := []string{
+		"tsb_commit_latency_seconds",
+		"tsb_wal_fsync_seconds",
+		"tsb_latch_wait_seconds",
+		"tsb_buffer_hit_ratio",
+		"tsb_migrator_phase_seconds",
+		"tsb_server_op_seconds",
+		"tsb_server_ops_total",
+		"tsb_server_shed_total",
+		"tsb_server_conns_total",
+	}
+	if missing := obs.RequireSeries(samples, required); len(missing) != 0 {
+		t.Fatalf("required series missing from /metrics: %v", missing)
+	}
+	// The workload above must be visible, not just the series' shapes.
+	for _, s := range samples {
+		if s.Series == `tsb_commit_latency_seconds_count{mode="durable"}` && s.Value == 0 {
+			t.Error("durable commits ran but tsb_commit_latency_seconds counted none")
+		}
+		if s.Name == "tsb_server_ops_total" && s.Value < 64 {
+			t.Errorf("tsb_server_ops_total = %v after 64+ ops", s.Value)
+		}
+	}
+
+	// The JSON mirror must decode, and the debug rings must serve.
+	base := strings.TrimSuffix(metricsURL, "/metrics")
+	var vars map[string]any
+	if err := json.Unmarshal(httpGet(t, base+"/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["tsb_server_ops_total"]; !ok {
+		t.Error("/debug/vars missing tsb_server_ops_total")
+	}
+	httpGet(t, base+"/debug/events")
+	httpGet(t, base+"/debug/slow")
+
+	sigCh <- syscall.SIGTERM
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return body
 }

@@ -35,6 +35,13 @@
 //     checkpoints;
 //   - internal/workload, internal/metrics, internal/experiments: the
 //     evaluation harness (experiments E1-E16, see EXPERIMENTS.md);
+//   - internal/obs: the observability substrate — atomic counters,
+//     gauges, and lock-free latency histograms behind a registry with
+//     Prometheus-text and JSON exposition, plus ring-buffer event and
+//     slow-op logs tracing background jobs; tsbserve's -metrics-addr
+//     serves the live surface, and every layer above registers its
+//     instruments into one registry (see the "Observability" section
+//     of docs/ARCHITECTURE.md for the metric scheme);
 //   - internal/server: the network service layer — a pipelined binary
 //     protocol over TCP (server/wire), session read snapshots, leased
 //     server-side cursors, per-tenant key-prefix namespaces, and

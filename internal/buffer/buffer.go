@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -85,7 +86,15 @@ type Pool struct {
 	byPg      map[uint64]*list.Element
 	epoch     uint64
 	nDirty    int
-	stats     Stats
+
+	// Cache-effectiveness counters are obs instruments — the one source
+	// of truth; Stats() derives from them and RegisterMetrics names
+	// them. They are mutated under mu but read lock-free at scrape time.
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
+	flushed   obs.Counter
+	overflows obs.Counter
 }
 
 // NewPool returns a write-through pool caching up to capacity pages of
@@ -162,12 +171,12 @@ func (p *Pool) evictSome(n int) {
 		if !fr.dirty && fr.pins == 0 {
 			p.lru.Remove(el)
 			delete(p.byPg, fr.page)
-			p.stats.Evictions++
+			p.evictions.Inc()
 		}
 		el = prev
 	}
 	if p.lru.Len() > n {
-		p.stats.Overflows++
+		p.overflows.Inc()
 	}
 }
 
@@ -177,13 +186,13 @@ func (p *Pool) Read(page uint64) ([]byte, error) {
 	defer p.mu.Unlock()
 	if el, ok := p.byPg[page]; ok {
 		p.lru.MoveToFront(el)
-		p.stats.Hits++
+		p.hits.Inc()
 		cached := el.Value.(*frame).data
 		out := make([]byte, len(cached))
 		copy(out, cached)
 		return out, nil
 	}
-	p.stats.Misses++
+	p.misses.Inc()
 	data, err := p.dev.Read(page)
 	if err != nil {
 		return nil, err
@@ -383,7 +392,7 @@ func (p *Pool) MarkClean(pages []DirtyPage) {
 		if fr.dirty && fr.epoch == cp.Epoch {
 			fr.dirty = false
 			p.nDirty--
-			p.stats.FlushedPages++
+			p.flushed.Inc()
 		}
 	}
 	// Cleaning may have created eviction candidates for an over-full
@@ -395,7 +404,7 @@ func (p *Pool) MarkClean(pages []DirtyPage) {
 		if !fr.dirty && fr.pins == 0 {
 			p.lru.Remove(el)
 			delete(p.byPg, fr.page)
-			p.stats.Evictions++
+			p.evictions.Inc()
 		}
 		el = prev
 	}
@@ -408,13 +417,36 @@ func (p *Pool) DirtyCount() int {
 	return p.nDirty
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, derived from the
+// pool's registered instruments.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	st := p.stats
-	st.DirtyPages = p.nDirty
-	return st
+	return Stats{
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		Evictions:    p.evictions.Load(),
+		DirtyPages:   p.nDirty,
+		FlushedPages: p.flushed.Load(),
+		Overflows:    p.overflows.Load(),
+	}
+}
+
+// RegisterMetrics names the pool's instruments in r; the engine facade
+// calls it once at open. The derived gauges take the pool mutex at
+// scrape time only.
+func (p *Pool) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("tsb_buffer_hits_total", "page reads served from the pool", &p.hits)
+	r.RegisterCounter("tsb_buffer_misses_total", "page reads that went to the device", &p.misses)
+	r.RegisterCounter("tsb_buffer_evictions_total", "clean frames evicted", &p.evictions)
+	r.RegisterCounter("tsb_buffer_flushed_pages_total", "dirty pages written back by flush captures", &p.flushed)
+	r.RegisterCounter("tsb_buffer_overflows_total", "frames kept past capacity (all candidates dirty or pinned)", &p.overflows)
+	r.GaugeFunc("tsb_buffer_dirty_pages", "current dirty-page table size", func() float64 {
+		return float64(p.DirtyCount())
+	})
+	r.GaugeFunc("tsb_buffer_hit_ratio", "hits / (hits + misses)", func() float64 {
+		return Stats{Hits: p.hits.Load(), Misses: p.misses.Load()}.HitRate()
+	})
 }
 
 var _ storage.PageStore = (*Pool)(nil)

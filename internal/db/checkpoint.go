@@ -141,5 +141,6 @@ func LoadFrom(r io.Reader, extracts map[string]SecondaryExtract, cost *storage.C
 
 	d.tm = txn.NewManager(d.store, cp.Clock)
 	d.tm.SetCommitHook(d.onCommit)
+	d.wireObs(Config{})
 	return d, nil
 }

@@ -184,9 +184,11 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 	"repro/internal/record"
 	"repro/internal/secondary"
@@ -274,6 +276,12 @@ type Config struct {
 	// orphans — exceeds this many bytes. 0 disables background
 	// compaction (DB.Compact still works). Paged durable mode only.
 	CompactDeadBytes int64
+	// SlowOpThreshold is the duration at or above which a completed
+	// background span (checkpoint, compaction round, migration) is
+	// copied into the slow-op ring of the event log (DB.Events). 0
+	// selects the 25ms default; negative disables the slow-op ring (the
+	// main event ring still records everything).
+	SlowOpThreshold time.Duration
 	// Secondaries registers secondary indexes at open time, equivalent
 	// to calling CreateSecondary for each before any writes. Reopening
 	// a durable database that had secondary indexes REQUIRES the same
@@ -344,6 +352,19 @@ type DB struct {
 	// compacts once deadBytes exceeds it (<=0 disables).
 	coEvery int64
 
+	// reg names every component's instruments for exposition; events is
+	// the background-job span log. Built by wireObs on every open path,
+	// so both are always non-nil on a DB the package returned.
+	reg    *obs.Registry
+	events *obs.EventLog
+	// Migration phase histograms (capture/burn/swap latch regimes). They
+	// live on the DB, not the migrator, so the series exist — at zero —
+	// even when migration is inline or off.
+	migCapture, migBurn, migSwap obs.Histogram
+	// Whole-job duration histograms for the maintenance spans.
+	cpHist obs.Histogram
+	coHist obs.Histogram
+
 	// secMu latches the secondary indexes: write-held while commit
 	// posting applies index maintenance, read-held by lookups.
 	secMu       sync.RWMutex //tsb:latch level=6 name=secondary
@@ -363,9 +384,9 @@ type DB struct {
 	cpMu    sync.Mutex //tsb:latch level=1 name=checkpoint
 	cpEvery int64      // background trigger; <=0 disabled
 	cpErr   error      // sticky first background-checkpoint error (under cpMu)
-	stopCp      chan struct{}
-	cpDone      sync.WaitGroup
-	closed      bool
+	stopCp  chan struct{}
+	cpDone  sync.WaitGroup
+	closed  bool
 }
 
 func (cfg *Config) withDefaults() error {
@@ -425,6 +446,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	d.tm = txn.NewManager(d.store, d.store.Now())
 	d.tm.SetCommitHook(d.onCommit)
+	d.wireObs(cfg)
 	if cfg.BackgroundMigration {
 		d.startMigrator()
 	}
@@ -473,6 +495,70 @@ func newEmpty(cfg Config) (*DB, error) {
 	d.store = newShardedStore(trees)
 	return d, nil
 }
+
+// defaultSlowOpThreshold is the slow-op ring threshold when
+// Config.SlowOpThreshold is 0.
+const defaultSlowOpThreshold = 25 * time.Millisecond
+
+// wireObs builds the metric registry and event log and names every
+// component's instruments in them. Called once per open path (Open,
+// openDurable, LoadFrom) after the transaction manager exists.
+// Instruments are component-owned struct fields that record from birth;
+// registration only names them for exposition, so nothing here is on a
+// hot path and order relative to first use does not matter.
+func (d *DB) wireObs(cfg Config) {
+	d.reg = obs.NewRegistry()
+	thresh := cfg.SlowOpThreshold
+	if thresh == 0 {
+		thresh = defaultSlowOpThreshold
+	}
+	if thresh < 0 {
+		thresh = 0
+	}
+	d.events = obs.NewEventLog(1024, thresh)
+	d.store.registerMetrics(d.reg)
+	d.tm.RegisterMetrics(d.reg)
+	if d.pool != nil {
+		d.pool.RegisterMetrics(d.reg)
+	}
+	if d.wal != nil {
+		d.wal.RegisterMetrics(d.reg)
+	}
+	if d.pf != nil {
+		d.pf.RegisterMetrics(d.reg)
+	}
+	if d.bf != nil {
+		d.bf.RegisterMetrics(d.reg)
+	}
+	// Migration phase series exist in every mode (zero when migration is
+	// inline or off), so dashboards and scrape checks need no flag
+	// coordination with Config.BackgroundMigration.
+	phases := []struct {
+		name string
+		h    *obs.Histogram
+	}{{"capture", &d.migCapture}, {"burn", &d.migBurn}, {"swap", &d.migSwap}}
+	for _, p := range phases {
+		d.reg.RegisterHistogram("tsb_migrator_phase_seconds",
+			"background time-split migration phase duration (capture: read latch; burn: no latch; swap: write latch)",
+			p.h, obs.Label{Key: "phase", Value: p.name})
+	}
+	d.reg.GaugeFunc("tsb_migrator_queue_depth", "deferred-split tickets queued", func() float64 {
+		return float64(d.mig.statsSnapshot().QueueDepth)
+	})
+	d.reg.RegisterHistogram("tsb_checkpoint_seconds", "whole-checkpoint duration, quiesce windows included", &d.cpHist)
+	d.reg.RegisterHistogram("tsb_compaction_seconds", "WORM compaction round duration", &d.coHist)
+}
+
+// Metrics returns the database's metric registry: every engine
+// instrument — commit latency, fsync latency, shard latch contention,
+// buffer hit rates, device latency, migration phases — named for
+// exposition (obs.WritePrometheus / WriteJSON). Always non-nil.
+func (d *DB) Metrics() *obs.Registry { return d.reg }
+
+// Events returns the background-job event log: completed checkpoint,
+// compaction, and migration spans, with a slow-op ring past
+// Config.SlowOpThreshold. Always non-nil.
+func (d *DB) Events() *obs.EventLog { return d.events }
 
 // pages returns the page store the trees share: the buffer pool when
 // caching is enabled, the raw device otherwise.

@@ -163,6 +163,7 @@ func openDurable(cfg Config) (*DB, error) {
 	}
 	d.wal = log
 	d.tm.SetCommitLog(log)
+	d.wireObs(cfg)
 
 	if !found {
 		// Seal the directory's shape before the first commit: an empty
@@ -413,6 +414,7 @@ func (d *DB) Checkpoint() error {
 // cpMu with the migrator fenced — and accounts the per-checkpoint pause
 // (the sum of its quiesce windows) into Stats().Checkpoint.
 func (d *DB) checkpointLocked() error {
+	sp := d.events.StartSpan("checkpoint", &d.cpHist)
 	before := d.cpPauseNanos.Load()
 	var err error
 	if d.pf != nil {
@@ -420,15 +422,18 @@ func (d *DB) checkpointLocked() error {
 	} else {
 		err = d.checkpointLogicalLocked()
 	}
-	if err == nil {
-		pause := d.cpPauseNanos.Load() - before
-		d.cpCount.Add(1)
-		d.cpLastPause.Store(pause)
-		if pause > d.cpMaxPause.Load() {
-			d.cpMaxPause.Store(pause)
-		}
+	if err != nil {
+		sp.End("error: " + err.Error())
+		return err
 	}
-	return err
+	pause := d.cpPauseNanos.Load() - before
+	d.cpCount.Add(1)
+	d.cpLastPause.Store(pause)
+	if pause > d.cpMaxPause.Load() {
+		d.cpMaxPause.Store(pause)
+	}
+	sp.End(fmt.Sprintf("pause=%s", time.Duration(pause)))
+	return nil
 }
 
 // quiesceTimed is tm.Quiesce plus pause accounting: the commit-posting

@@ -222,6 +222,11 @@ func (d *DB) Compact() (CompactionReport, error) {
 	// still happen — the install re-check catches them.
 	d.mig.pause()
 	defer d.mig.resume()
+	sp := d.events.StartSpan("compact", &d.coHist)
+	defer func() {
+		sp.End(fmt.Sprintf("attempted=%t aborted=%t moved=%dB reclaimed=%dB",
+			rep.Attempted, rep.Aborted, rep.MovedBytes, rep.ReclaimedBytes))
+	}()
 
 	// Phase 1 — the burned count first: runs burned during the walk land
 	// at or past it, and any such burn flunks the install re-check.

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // MigratorStats is the accounting of the background time-split migrator
@@ -120,9 +121,13 @@ type migrator struct {
 	stale          uint64
 	abandoned      uint64
 	abandonedBytes uint64
-	captureNanos   uint64
-	burnNanos      uint64
-	swapNanos      uint64
+
+	// capture/burn/swap point at the DB's phase histograms (which exist
+	// in every mode) and log at its event log; the phase-nanos stats
+	// derive from the histogram sums. Set once in startMigrator before
+	// the first ticket can flow, same write-once discipline as onAbandon.
+	capture, burn, swap *obs.Histogram
+	log                 *obs.EventLog
 
 	// onAbandon, when set, is told the payload bytes of every abandoned
 	// burn: the DB routes them into its dead-byte account so the waste
@@ -209,35 +214,40 @@ func (m *migrator) worker(i int) {
 }
 
 // process runs one ticket through capture (read latch) → burn (no
-// latch) → swap (write latch).
+// latch) → swap (write latch). Each phase feeds its histogram and the
+// whole ticket is one span in the event log.
 func (m *migrator) process(i int, ps core.PendingSplit) error {
 	sh := m.store.shards[i]
+	sp := m.log.StartSpan("migrate", nil)
 
 	start := time.Now()
 	sh.mu.RLock()
 	cap, ok, err := sh.tree.CaptureSplit(ps)
 	sh.mu.RUnlock()
-	captureNanos := uint64(time.Since(start))
+	m.capture.Observe(time.Since(start))
 	if err != nil {
+		sp.End(fmt.Sprintf("shard=%d capture error: %v", i, err))
 		return fmt.Errorf("db: migrator shard %d capture: %w", i, err)
 	}
 	if !ok {
 		m.mu.Lock()
 		m.stale++
-		m.captureNanos += captureNanos
 		m.mu.Unlock()
+		sp.End(fmt.Sprintf("shard=%d stale", i))
 		return nil
 	}
 
 	start = time.Now()
 	if h := m.burnHook; h != nil {
 		if err := h(i, ps); err != nil {
+			sp.End(fmt.Sprintf("shard=%d burn error: %v", i, err))
 			return fmt.Errorf("db: migrator shard %d burn: %w", i, err)
 		}
 	}
 	addr, err := sh.tree.BurnCapture(cap)
-	burnNanos := uint64(time.Since(start))
+	m.burn.Observe(time.Since(start))
 	if err != nil {
+		sp.End(fmt.Sprintf("shard=%d burn error: %v", i, err))
 		return fmt.Errorf("db: migrator shard %d burn: %w", i, err)
 	}
 
@@ -246,15 +256,13 @@ func (m *migrator) process(i int, ps core.PendingSplit) error {
 	//tsb:allow latchio -- the documented swap: the burn itself ran latch-free above; ApplySplit only re-burns when an ancestor filled up mid-migration
 	applied, err := sh.tree.ApplySplit(cap, addr)
 	sh.mu.Unlock()
-	swapNanos := uint64(time.Since(start))
+	m.swap.Observe(time.Since(start))
 	if err != nil {
+		sp.End(fmt.Sprintf("shard=%d swap error: %v", i, err))
 		return fmt.Errorf("db: migrator shard %d swap: %w", i, err)
 	}
 
 	m.mu.Lock()
-	m.captureNanos += captureNanos
-	m.burnNanos += burnNanos
-	m.swapNanos += swapNanos
 	if applied {
 		m.migrated++
 		m.versions += uint64(cap.HistVersions())
@@ -267,6 +275,11 @@ func (m *migrator) process(i int, ps core.PendingSplit) error {
 		}
 	}
 	m.mu.Unlock()
+	if applied {
+		sp.End(fmt.Sprintf("shard=%d burned=%dB", i, cap.HistBytes()))
+	} else {
+		sp.End(fmt.Sprintf("shard=%d abandoned=%dB", i, cap.HistBytes()))
+	}
 	return nil
 }
 
@@ -399,11 +412,20 @@ func (m *migrator) statsSnapshot() MigratorStats {
 		AbandonedBytes:   m.abandonedBytes,
 		QueueDepth:       m.queued,
 		InFlight:         m.inflight,
-		CaptureNanos:     m.captureNanos,
-		BurnNanos:        m.burnNanos,
-		SwapNanos:        m.swapNanos,
+		CaptureNanos:     histNanos(m.capture),
+		BurnNanos:        histNanos(m.burn),
+		SwapNanos:        histNanos(m.swap),
 		Err:              m.err,
 	}
+}
+
+// histNanos derives a phase-nanos stat from its histogram's sum (the
+// histogram keeps its sum in nanoseconds exactly).
+func histNanos(h *obs.Histogram) uint64 {
+	if h == nil {
+		return 0
+	}
+	return uint64(h.Sum())
 }
 
 // DrainMigrations synchronously processes every queued background
@@ -428,8 +450,13 @@ func (d *DB) startMigrator() {
 		sh.tree.SetDeferTimeSplits(true)
 	}
 	d.mig = newMigrator(d.store)
-	// Wire the dead-byte account before any ticket can flow (tickets
-	// only arrive once d.store.mig is set below).
+	// Wire the dead-byte account, phase histograms, and event log before
+	// any ticket can flow (tickets only arrive once d.store.mig is set
+	// below).
 	d.mig.onAbandon = func(b uint64) { d.deadBytes.Add(b) }
+	d.mig.capture = &d.migCapture
+	d.mig.burn = &d.migBurn
+	d.mig.swap = &d.migSwap
+	d.mig.log = d.events
 	d.store.mig = d.mig
 }

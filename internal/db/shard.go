@@ -2,9 +2,13 @@ package db
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/txn"
 )
@@ -17,6 +21,34 @@ import (
 type shard struct {
 	mu   sync.RWMutex //tsb:latch level=5 name=shard
 	tree *core.Tree
+
+	// Latch contention instruments for the hot operations (Insert,
+	// CommitKey, Get, GetAsOf): wait is acquire latency, hold is the
+	// latched section. Timing is sampled — every latchSampleInterval-th
+	// acquisition per shard pays the clock reads, the rest pay one
+	// atomic add — and hold is observed after release, so the metric
+	// update itself is latch-free and the common path stays cheap.
+	tick         atomic.Uint64
+	waitR, waitW obs.Histogram
+	holdR, holdW obs.Histogram
+}
+
+// latchSampleShift selects the top 3 bits of the hashed tick, sampling
+// exactly 1 in 8 acquisitions: enough to keep the wait/hold histograms
+// statistically faithful under contention while the clock reads stay
+// off seven in eight acquisitions.
+const latchSampleShift = 61
+
+// sampleLatch reports whether this acquisition is one of the timed
+// 1-in-8. The tick is Fibonacci-hashed before the bit test: a plain
+// tick%8 stride aliases with periodic op patterns (a put ticks the
+// counter a fixed number of times, so every sample can land on the
+// same acquisition site — in practice the read latch, leaving the
+// write-latch histograms permanently empty). Multiplying by the odd
+// constant is a bijection, so the rate stays exactly 1-in-8 while the
+// sampled positions scatter across any small period.
+func (sh *shard) sampleLatch() bool {
+	return sh.tick.Add(1)*0x9E3779B97F4A7C15>>latchSampleShift == 0
 }
 
 // shardedStore routes operations across n key-range shards and implements
@@ -71,7 +103,15 @@ func (s *shardedStore) Now() record.Timestamp {
 func (s *shardedStore) Insert(v record.Version) error {
 	i := record.ShardOfKey(v.Key, len(s.shards))
 	sh := s.shards[i]
+	var start, acquired time.Time
+	timed := sh.sampleLatch()
+	if timed {
+		start = time.Now()
+	}
 	sh.mu.Lock()
+	if timed {
+		acquired = time.Now()
+	}
 	//tsb:allow latchio -- inline burn fallback: when the migrator queue is saturated (or migration is off) the time split burns under the latch by design
 	err := sh.tree.Insert(v)
 	var tickets []core.PendingSplit
@@ -81,6 +121,10 @@ func (s *shardedStore) Insert(v record.Version) error {
 		tickets = sh.tree.TakeNewPendingSplits()
 	}
 	sh.mu.Unlock()
+	if timed {
+		sh.waitW.Observe(acquired.Sub(start))
+		sh.holdW.Observe(time.Since(acquired))
+	}
 	if len(tickets) > 0 {
 		s.mig.enqueue(i, tickets)
 	}
@@ -89,9 +133,22 @@ func (s *shardedStore) Insert(v record.Version) error {
 
 func (s *shardedStore) CommitKey(k record.Key, txnID uint64, commitTime record.Timestamp) error {
 	sh := s.shardFor(k)
+	var start, acquired time.Time
+	timed := sh.sampleLatch()
+	if timed {
+		start = time.Now()
+	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.tree.CommitKey(k, txnID, commitTime)
+	if timed {
+		acquired = time.Now()
+	}
+	err := sh.tree.CommitKey(k, txnID, commitTime)
+	sh.mu.Unlock()
+	if timed {
+		sh.waitW.Observe(acquired.Sub(start))
+		sh.holdW.Observe(time.Since(acquired))
+	}
+	return err
 }
 
 func (s *shardedStore) AbortKey(k record.Key, txnID uint64) error {
@@ -110,16 +167,42 @@ func (s *shardedStore) GetPending(k record.Key, txnID uint64) (record.Version, b
 
 func (s *shardedStore) Get(k record.Key) (record.Version, bool, error) {
 	sh := s.shardFor(k)
+	var start, acquired time.Time
+	timed := sh.sampleLatch()
+	if timed {
+		start = time.Now()
+	}
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.tree.Get(k)
+	if timed {
+		acquired = time.Now()
+	}
+	v, ok, err := sh.tree.Get(k)
+	sh.mu.RUnlock()
+	if timed {
+		sh.waitR.Observe(acquired.Sub(start))
+		sh.holdR.Observe(time.Since(acquired))
+	}
+	return v, ok, err
 }
 
 func (s *shardedStore) GetAsOf(k record.Key, at record.Timestamp) (record.Version, bool, error) {
 	sh := s.shardFor(k)
+	var start, acquired time.Time
+	timed := sh.sampleLatch()
+	if timed {
+		start = time.Now()
+	}
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.tree.GetAsOf(k, at)
+	if timed {
+		acquired = time.Now()
+	}
+	v, ok, err := sh.tree.GetAsOf(k, at)
+	sh.mu.RUnlock()
+	if timed {
+		sh.waitR.Observe(acquired.Sub(start))
+		sh.holdR.Observe(time.Since(acquired))
+	}
+	return v, ok, err
 }
 
 func (s *shardedStore) History(k record.Key) ([]record.Version, error) {
@@ -286,6 +369,21 @@ func (s *shardedStore) Diff(low record.Key, high record.Bound, from, to record.T
 		out = append(out, part...)
 	}
 	return out, nil
+}
+
+// registerMetrics names each shard's latch-contention histograms in r,
+// one (shard, mode) series pair per histogram.
+func (s *shardedStore) registerMetrics(r *obs.Registry) {
+	for i, sh := range s.shards {
+		latch := obs.Label{Key: "latch", Value: "shard"}
+		id := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		rd := obs.Label{Key: "mode", Value: "read"}
+		wr := obs.Label{Key: "mode", Value: "write"}
+		r.RegisterHistogram("tsb_latch_wait_seconds", "shard latch acquire latency (1-in-8 sampled)", &sh.waitR, latch, id, rd)
+		r.RegisterHistogram("tsb_latch_wait_seconds", "shard latch acquire latency (1-in-8 sampled)", &sh.waitW, latch, id, wr)
+		r.RegisterHistogram("tsb_latch_hold_seconds", "shard latch hold duration (1-in-8 sampled)", &sh.holdR, latch, id, rd)
+		r.RegisterHistogram("tsb_latch_hold_seconds", "shard latch hold duration (1-in-8 sampled)", &sh.holdW, latch, id, wr)
+	}
 }
 
 // migrationCounters aggregates the per-tree migration measurements that

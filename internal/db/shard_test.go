@@ -263,3 +263,33 @@ func TestShardRoutingPlacement(t *testing.T) {
 		t.Fatal("all inserts landed in shard 0: routing is not spreading keys")
 	}
 }
+
+// TestLatchSamplingCoversBothModes regression-tests the latch-timing
+// sampler against stride aliasing. A put-only workload ticks the
+// sampler a fixed number of times per operation, so a plain modulo-8
+// stride lands every sample on the same acquisition site — in practice
+// the read latch — leaving the write-latch histograms permanently
+// empty no matter how long the server runs. The hashed sampler must
+// spread samples across both modes.
+func TestLatchSamplingCoversBothModes(t *testing.T) {
+	d, err := Open(Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 2000; i++ {
+		if err := d.Update(func(tx *txn.Txn) error {
+			return tx.Put(record.Key(fmt.Sprintf("alias%04d", i)), []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reads, writes uint64
+	for _, sh := range d.store.shards {
+		reads += sh.waitR.Count()
+		writes += sh.waitW.Count()
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("latch sampler starved a mode: read samples=%d, write samples=%d", reads, writes)
+	}
+}

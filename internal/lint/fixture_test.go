@@ -29,7 +29,11 @@ import (
 )
 
 // loadFixture parses and type-checks the fixture package
-// testdata/src/<name>.
+// testdata/src/<name>. A subdirectory of the fixture is type-checked
+// first as an importable dependency package whose import path is the
+// directory name with "__" read as "/" (so repro__internal__obs is
+// importable as "repro/internal/obs") — how a fixture stands in for a
+// real repo package the analyzer special-cases by path.
 func loadFixture(t *testing.T, name string) *Unit {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
@@ -38,9 +42,18 @@ func loadFixture(t *testing.T, name string) *Unit {
 		t.Fatalf("read fixture dir: %v", err)
 	}
 	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		base: importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if e.IsDir() {
+			path := strings.ReplaceAll(e.Name(), "__", "/")
+			imp.pkgs[path] = checkFixturePkg(t, fset, filepath.Join(dir, e.Name()), path, imp, NewInfo())
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
@@ -54,12 +67,54 @@ func loadFixture(t *testing.T, name string) *Unit {
 		t.Fatalf("no fixture files in %s", dir)
 	}
 	info := NewInfo()
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: imp}
 	pkg, err := conf.Check(name, fset, files, info)
 	if err != nil {
 		t.Fatalf("type-check fixture: %v", err)
 	}
 	return &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+}
+
+// checkFixturePkg type-checks one fixture dependency directory under
+// its synthetic import path.
+func checkFixturePkg(t *testing.T, fset *token.FileSet, dir, path string, imp types.Importer, info *types.Info) *types.Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dep dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse fixture dep: %v", err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture dep %s: %v", path, err)
+	}
+	return pkg
+}
+
+// fixtureImporter resolves fixture dependency packages before falling
+// back to the source importer for the standard library.
+type fixtureImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	return fi.base.Import(path)
 }
 
 // expectation is one `// want` regexp waiting for a diagnostic.

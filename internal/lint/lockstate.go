@@ -670,6 +670,12 @@ func isIOCall(u *Unit, call *ast.CallExpr, fn *types.Func) (bool, string) {
 	if fn == nil {
 		return false, ""
 	}
+	// The observability substrate is never device I/O: its instruments
+	// record with atomics, so even a Sync-shaped method there is safe
+	// under any latch.
+	if fn.Pkg() != nil && obsPackages[fn.Pkg().Path()] {
+		return false, ""
+	}
 	if fn.Pkg() != nil && fn.Pkg().Path() == "os" {
 		sig, _ := fn.Type().(*types.Signature)
 		if sig != nil && sig.Recv() == nil && osIOFuncs[fn.Name()] {

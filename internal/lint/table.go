@@ -132,6 +132,15 @@ var ioPackages = map[string]bool{
 	"repro/internal/wal":       true,
 }
 
+// obsPackages are packages whose calls are never device I/O: the
+// observability substrate records with atomic operations only, so
+// instrumentation is legal under any latch. The structural matchers
+// (Sync-shaped methods in particular) skip callees from these packages
+// before any other rule fires.
+var obsPackages = map[string]bool{
+	"repro/internal/obs": true,
+}
+
 // osIOFuncs are package-level os functions that touch the filesystem
 // (the write side; reads are deliberately not flagged).
 var osIOFuncs = map[string]bool{

@@ -7,6 +7,9 @@ package latchio
 import (
 	"os"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 type store struct {
@@ -75,4 +78,26 @@ func (s *store) allowedIO(path string) {
 	defer s.mu.Unlock()
 	//tsb:allow latchio -- fixture: the documented inline-burn escape
 	_ = os.Remove(path)
+}
+
+// dev carries the structural device signature: a niladic Sync() error
+// is I/O on any type, whatever the package.
+type dev struct{}
+
+func (dev) Sync() error { return nil }
+
+func (s *store) writeSync(d dev) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = d.Sync() // want `latchio: device I/O \(dev.Sync\) while write latch "store"`
+}
+
+// The observability substrate is exempt by package path: instruments
+// record with atomics, so even its Sync-shaped method is legal under a
+// write latch. Not flagged.
+func (s *store) writeObserve(h *obs.Histogram, r *obs.Ring, start time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h.Observe(time.Since(start))
+	_ = r.Sync()
 }

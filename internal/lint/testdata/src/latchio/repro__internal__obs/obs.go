@@ -1,0 +1,17 @@
+// Package obs is the fixture stand-in for the repo's observability
+// substrate: the fixture harness serves this directory under the import
+// path "repro/internal/obs", the path latchio's allowlist trusts to
+// record with atomics only, never device I/O.
+package obs
+
+import "time"
+
+type Histogram struct{ count uint64 }
+
+func (h *Histogram) Observe(d time.Duration) { h.count++ }
+
+// Ring is I/O-shaped on purpose: Sync() error is exactly the structural
+// signature latchio flags on any other package's types.
+type Ring struct{ sealed bool }
+
+func (r *Ring) Sync() error { r.sealed = true; return nil }

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// family, then the samples. Counters and gauges render their value;
+// histograms render cumulative _bucket{le="..."} series with bounds in
+// seconds, plus _sum (seconds) and _count — the native shape for
+// scrape-side quantile math.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var family string
+	for _, m := range r.snapshot() {
+		if m.name != family {
+			family = m.name
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", m.name, m.labels, m.counter.Load())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", m.name, m.labels, m.gauge.Load())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, m.labels, formatFloat(m.fn()))
+		case kindHistogram:
+			writePromHistogram(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, m *metric) {
+	counts := m.hist.Snapshot()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if c == 0 {
+			// Sparse rendering: only buckets with observations (plus
+			// +Inf) emit a line. Cumulative counts stay exact because
+			// an empty bucket adds nothing.
+			continue
+		}
+		le := formatFloat(float64(bucketBoundMicros(i)) / 1e6)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLabel(m.labels, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLabel(m.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatFloat(m.hist.Sum().Seconds()))
+	fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, cum)
+}
+
+// withLabel splices one extra label into a rendered label block.
+func withLabel(labels, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteJSON renders the registry as a /debug/vars-style JSON object:
+// one key per series, counters and gauges as numbers, histograms as
+// {count, p50_us, p99_us, max_us, sum_seconds} objects. Keys are the
+// exposition series names, so the two views line up.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n")
+	first := true
+	for _, m := range r.snapshot() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, "  %s: ", strconv.Quote(m.series()))
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%d", m.counter.Load())
+		case kindGauge:
+			fmt.Fprintf(bw, "%d", m.gauge.Load())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s", jsonFloat(m.fn()))
+		case kindHistogram:
+			h := m.hist
+			fmt.Fprintf(bw, `{"count": %d, "p50_us": %d, "p99_us": %d, "max_us": %d, "sum_seconds": %s}`,
+				h.Count(), h.Percentile(0.50), h.Percentile(0.99), h.MaxMicros(), jsonFloat(h.Sum().Seconds()))
+		}
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}
+
+// jsonFloat renders a float as valid JSON (NaN/Inf become null).
+func jsonFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if strings.ContainsAny(s, "NI") { // NaN, +Inf, -Inf
+		return "null"
+	}
+	return s
+}
+
+// Sample is one parsed exposition sample: a series (name plus its
+// sorted label block) and its value.
+type Sample struct {
+	Name   string // metric name alone
+	Series string // name{labels} exactly as exposed
+	Value  float64
+}
+
+// ParseExposition is a scraper-grade parser for the Prometheus text
+// format: it validates comment and sample grammar line by line — metric
+// and label name character sets, label-value escaping, float values —
+// and that every sample of a family with a # TYPE comment appears after
+// it. It returns the samples in exposition order. Tests and the CI
+// scrape smoke use it to reject output a real scraper would reject.
+func ParseExposition(data []byte) ([]Sample, error) {
+	var samples []Sample
+	typed := make(map[string]string)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, typed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if t, ok := typed[familyOf(s.Name)]; ok && t == "histogram" {
+			// Histogram samples must be the _bucket/_sum/_count forms.
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"),
+				strings.HasSuffix(s.Name, "_sum"),
+				strings.HasSuffix(s.Name, "_count"):
+			default:
+				return nil, fmt.Errorf("line %d: bare sample %s of histogram family", ln+1, s.Name)
+			}
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// familyOf strips the histogram sample suffixes back to the family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func parseComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return nil // a bare "#" (or "#text") is free comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE without a type: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+		if _, dup := typed[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		typed[fields[2]] = fields[3]
+	default:
+		// Other comments are permitted free text.
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return Sample{}, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	labels := ""
+	if rest[0] == '{' {
+		end, err := scanLabelBlock(rest)
+		if err != nil {
+			return Sample{}, fmt.Errorf("%s: %w", name, err)
+		}
+		labels = rest[:end]
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A sample may carry a trailing timestamp; value is the first field.
+	valueField := rest
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		valueField = rest[:j]
+		ts := strings.TrimSpace(rest[j+1:])
+		if ts != "" {
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return Sample{}, fmt.Errorf("%s: bad timestamp %q", name, ts)
+			}
+		}
+	}
+	v, err := parseValue(valueField)
+	if err != nil {
+		return Sample{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return Sample{Name: name, Series: name + labels, Value: v}, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return strconv.ParseFloat(strings.TrimPrefix(s, "+"), 64)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// scanLabelBlock validates a {k="v",...} block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func scanLabelBlock(s string) (int, error) {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !validLabelName(s[start:i]) {
+			return 0, fmt.Errorf("bad label name in %q", s)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) {
+					break
+				}
+				switch s[i] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in %q", s[i], s)
+				}
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing '"'
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// RequireSeries checks that every name in want has at least one sample
+// (matching on the bare metric name or, for histograms, its family).
+// It returns the missing names sorted — empty means all present.
+func RequireSeries(samples []Sample, want []string) []string {
+	have := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		have[familyOf(s.Name)] = true
+		have[s.Name] = true
+	}
+	var missing []string
+	for _, w := range want {
+		if !have[w] {
+			missing = append(missing, w)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the live observability surface over HTTP:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/vars     the same registry as a JSON object
+//	/debug/events   the event log, oldest first, as text
+//	/debug/slow     the slow-op log, oldest first, as text
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Either argument may be nil; the corresponding endpoints then serve
+// empty output. The handler takes no engine latch: scrapes read atomic
+// instruments and ring snapshots only.
+func Handler(r *Registry, l *EventLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r != nil {
+			_ = r.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if r != nil {
+			_ = r.WriteJSON(w)
+		} else {
+			fmt.Fprintln(w, "{}")
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		writeEvents(w, l.Events())
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		writeEvents(w, l.SlowOps())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeEvents(w http.ResponseWriter, events []Event) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, e := range events {
+		fmt.Fprintf(w, "%d %s %s %v %s\n",
+			e.Seq, e.Start.Format("2006-01-02T15:04:05.000"), e.Name, e.Dur, e.Detail)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations
+// whose microsecond count has bit length i, i.e. [2^(i-1), 2^i), with
+// bucket 0 sub-microsecond. 40 buckets cover ~6 days; anything longer
+// clamps into the last bucket.
+const histBuckets = 40
+
+// Histogram is a lock-free log2 latency histogram. Observe costs a
+// handful of atomic adds and allocates nothing; quantiles report the
+// containing bucket's upper bound in microseconds — within 2x of truth,
+// which is what an operator steering by a p99 needs. The zero value is
+// ready to use; it must not be copied after first use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total observed nanoseconds
+	max     atomic.Uint64 // largest single observation, microseconds
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+	for {
+		old := h.max.Load()
+		if us <= old || h.max.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// MaxMicros returns the largest single observation in microseconds.
+func (h *Histogram) MaxMicros() uint64 { return h.max.Load() }
+
+// Percentile returns the upper bound, in microseconds, of the bucket
+// containing the p-th observation (0 when nothing was observed). The
+// bound is exact to the bucketing: the true value lies within a factor
+// of two below it.
+func (h *Histogram) Percentile(p float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketBoundMicros(i)
+		}
+	}
+	return bucketBoundMicros(histBuckets - 1)
+}
+
+// bucketBoundMicros is bucket i's inclusive upper bound in microseconds.
+func bucketBoundMicros(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Snapshot copies the per-bucket counts for exposition. Concurrent
+// observers keep running; the copy is per-bucket atomic, not a global
+// consistent cut — fine for monitoring, where the scrape itself races
+// the workload anyway.
+func (h *Histogram) Snapshot() [histBuckets]uint64 {
+	var out [histBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}

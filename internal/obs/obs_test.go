@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileBounds checks the log2 bucketing contract: for a
+// known set of observations, every reported percentile is an upper
+// bound on the true value and within a factor of two of it.
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 1000 observations spread over four decades of microseconds.
+	var trueVals []uint64
+	for i := 0; i < 1000; i++ {
+		us := uint64(1 + i*i/10) // up to ~100ms
+		trueVals = append(trueVals, us)
+		h.Observe(time.Duration(us) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	for _, p := range []float64{0.50, 0.90, 0.99, 1.0} {
+		got := h.Percentile(p)
+		rank := int(p * 1000)
+		if rank == 0 {
+			rank = 1
+		}
+		truth := trueVals[rank-1]
+		if got < truth {
+			t.Errorf("p%.0f = %dus below true value %dus", p*100, got, truth)
+		}
+		if got > 0 && truth > 0 && float64(got) >= 2*float64(truth)+1 {
+			t.Errorf("p%.0f = %dus more than 2x true value %dus", p*100, got, truth)
+		}
+	}
+	if max := h.MaxMicros(); max != trueVals[len(trueVals)-1] {
+		t.Errorf("max = %dus, want %dus", max, trueVals[len(trueVals)-1])
+	}
+	wantSum := time.Duration(0)
+	for _, us := range trueVals {
+		wantSum += time.Duration(us) * time.Microsecond
+	}
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if got := h.Percentile(0.99); got != 0 {
+		t.Errorf("empty p99 = %d, want 0", got)
+	}
+	h.Observe(-time.Second) // clamps to zero
+	if got := h.Percentile(1.0); got != 0 {
+		t.Errorf("negative observation p100 = %d, want 0", got)
+	}
+	h.Observe(365 * 24 * time.Hour) // clamps into the last bucket
+	if got := h.Percentile(1.0); got != bucketBoundMicros(histBuckets-1) {
+		t.Errorf("huge observation p100 = %d, want last bucket bound", got)
+	}
+}
+
+// TestRegistryConcurrentWriters hammers one counter, one gauge, and one
+// histogram from many goroutines while a scraper renders concurrently;
+// run under -race this is the data-race proof, and the final counts
+// must be exact (atomic, not lossy).
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	h := r.Histogram("test_latency_seconds", "latency")
+	const writers, perWriter = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if _, err := ParseExposition(buf.Bytes()); err != nil {
+				t.Errorf("mid-write exposition unparseable: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Load(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Load(); got != writers*perWriter {
+		t.Errorf("gauge = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestRegistryIdempotent checks that re-registering a series returns
+// the canonical first instrument.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "a", Label{"shard", "1"})
+	b := r.Counter("dup_total", "b", Label{"shard", "1"})
+	if a != b {
+		t.Fatal("same series registered twice returned distinct instruments")
+	}
+	other := r.Counter("dup_total", "c", Label{"shard", "2"})
+	if other == a {
+		t.Fatal("distinct label sets share an instrument")
+	}
+	var h Histogram
+	if got := r.RegisterHistogram("attach_seconds", "x", &h); got != &h {
+		t.Fatal("first RegisterHistogram did not return the attached instrument")
+	}
+	if got := r.RegisterHistogram("attach_seconds", "x", &Histogram{}); got != &h {
+		t.Fatal("second RegisterHistogram did not return the canonical instrument")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("conflict_total", "x")
+}
+
+// TestEventLogWraparound fills the ring far past capacity and checks
+// the retained window is exactly the newest events, oldest first, with
+// contiguous sequence numbers.
+func TestEventLogWraparound(t *testing.T) {
+	l := NewEventLog(32, 0)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		l.Record("job", fmt.Sprintf("n=%d", i), start, time.Duration(i))
+	}
+	events := l.Events()
+	if len(events) != 32 {
+		t.Fatalf("retained %d events, want 32", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(100 - 32 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("event %d: seq %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Detail != fmt.Sprintf("n=%d", wantSeq) {
+			t.Fatalf("event %d: detail %q does not match seq %d", i, e.Detail, wantSeq)
+		}
+	}
+}
+
+func TestEventLogSlowOps(t *testing.T) {
+	l := NewEventLog(64, 10*time.Millisecond)
+	start := time.Now()
+	l.Record("fast", "", start, time.Millisecond)
+	l.Record("slow", "round 1", start, 50*time.Millisecond)
+	l.Record("fast", "", start, 2*time.Millisecond)
+	l.Record("threshold", "", start, 10*time.Millisecond) // >= threshold counts
+	slow := l.SlowOps()
+	if len(slow) != 2 || slow[0].Name != "slow" || slow[1].Name != "threshold" {
+		t.Fatalf("slow ops = %+v, want [slow threshold]", slow)
+	}
+	if len(l.Events()) != 4 {
+		t.Fatalf("event log retained %d, want 4", len(l.Events()))
+	}
+	l.SetSlowThreshold(0)
+	l.Record("slow2", "", start, time.Hour)
+	if len(l.SlowOps()) != 2 {
+		t.Fatal("disabled threshold still recorded a slow op")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	l := NewEventLog(16, time.Nanosecond)
+	var h Histogram
+	sp := l.StartSpan("checkpoint", &h)
+	time.Sleep(time.Millisecond)
+	dur := sp.End("flushed 3 pages")
+	if dur < time.Millisecond {
+		t.Fatalf("span duration %v under the slept millisecond", dur)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	events := l.Events()
+	if len(events) != 1 || events[0].Name != "checkpoint" || events[0].Detail != "flushed 3 pages" {
+		t.Fatalf("events = %+v", events)
+	}
+	if len(l.SlowOps()) != 1 {
+		t.Fatal("span past threshold missing from slow-op log")
+	}
+	// Nil log: span still feeds the histogram and does not panic.
+	var nilLog *EventLog
+	sp2 := nilLog.StartSpan("x", &h)
+	sp2.End("")
+	if h.Count() != 2 {
+		t.Fatal("nil-log span dropped the histogram observation")
+	}
+	// Zero span is inert.
+	var zero Span
+	if zero.End("") != 0 {
+		t.Fatal("zero span reported a duration")
+	}
+}
+
+// TestPrometheusExpositionGolden renders a fixed registry and compares
+// against the exact expected exposition, then runs the scraper-grade
+// parser over it.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tsb_commits_total", "committed transactions")
+	c.Add(42)
+	g := r.Gauge("tsb_queue_depth", "migrator queue depth", Label{"shard", "0"})
+	g.Set(7)
+	r.GaugeFunc("tsb_hit_ratio", "buffer hit ratio", func() float64 { return 0.75 })
+	h := r.Histogram("tsb_commit_latency_seconds", "commit latency", Label{"mode", "durable"})
+	h.Observe(3 * time.Microsecond)   // bucket 2, le 3e-06
+	h.Observe(100 * time.Microsecond) // bucket 7, le 0.000127
+	h.Observe(100 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP tsb_commit_latency_seconds commit latency`,
+		`# TYPE tsb_commit_latency_seconds histogram`,
+		`tsb_commit_latency_seconds_bucket{mode="durable",le="3e-06"} 1`,
+		`tsb_commit_latency_seconds_bucket{mode="durable",le="0.000127"} 3`,
+		`tsb_commit_latency_seconds_bucket{mode="durable",le="+Inf"} 3`,
+		`tsb_commit_latency_seconds_sum{mode="durable"} 0.000203`,
+		`tsb_commit_latency_seconds_count{mode="durable"} 3`,
+		`# HELP tsb_commits_total committed transactions`,
+		`# TYPE tsb_commits_total counter`,
+		`tsb_commits_total 42`,
+		`# HELP tsb_hit_ratio buffer hit ratio`,
+		`# TYPE tsb_hit_ratio gauge`,
+		`tsb_hit_ratio 0.75`,
+		`# HELP tsb_queue_depth migrator queue depth`,
+		`# TYPE tsb_queue_depth gauge`,
+		`tsb_queue_depth{shard="0"} 7`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	samples, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("scraper parse failed: %v", err)
+	}
+	byKey := make(map[string]float64)
+	for _, s := range samples {
+		byKey[s.Series] = s.Value
+	}
+	if byKey["tsb_commits_total"] != 42 {
+		t.Errorf("parsed commits = %v", byKey["tsb_commits_total"])
+	}
+	if byKey[`tsb_commit_latency_seconds_bucket{mode="durable",le="+Inf"}`] != 3 {
+		t.Errorf("parsed +Inf bucket = %v", byKey[`tsb_commit_latency_seconds_bucket{mode="durable",le="+Inf"}`])
+	}
+	if missing := RequireSeries(samples, []string{"tsb_commits_total", "tsb_commit_latency_seconds"}); len(missing) != 0 {
+		t.Errorf("required series missing: %v", missing)
+	}
+	if missing := RequireSeries(samples, []string{"tsb_absent_total"}); len(missing) != 1 {
+		t.Errorf("absent series not reported: %v", missing)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	bad := []string{
+		"metric value\n",                     // non-numeric value
+		"1bad_name 3\n",                      // invalid metric name
+		`m{l="x} 1` + "\n",                   // unterminated label value
+		`m{2l="x"} 1` + "\n",                 // invalid label name
+		`m{l=x} 1` + "\n",                    // unquoted label value
+		`m{l="a\q"} 1` + "\n",                // bad escape
+		"# TYPE m counter\n# TYPE m gauge\n", // duplicate TYPE
+		"# TYPE m frobnitz\n",                // unknown type
+		"# TYPE m histogram\nm 1\n",          // bare histogram sample
+		"m 1 notatimestamp\n",                // bad timestamp
+	}
+	for _, in := range bad {
+		if _, err := ParseExposition([]byte(in)); err == nil {
+			t.Errorf("ParseExposition accepted %q", in)
+		}
+	}
+	good := "# scraped by tests\nm{a=\"b\\\"c\",d=\"e\"} 1.5 1699999999\nnan_metric NaN\ninf_metric +Inf\n"
+	if _, err := ParseExposition([]byte(good)); err != nil {
+		t.Errorf("ParseExposition rejected valid input: %v", err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(5)
+	r.Histogram("b_seconds", "").Observe(10 * time.Microsecond)
+	r.GaugeFunc("c_ratio", "", func() float64 { return math.NaN() })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out["a_total"] != float64(5) {
+		t.Errorf("a_total = %v", out["a_total"])
+	}
+	hist, ok := out["b_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("b_seconds = %v", out["b_seconds"])
+	}
+	if out["c_ratio"] != nil {
+		t.Errorf("NaN gauge func = %v, want null", out["c_ratio"])
+	}
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Label is one name=value dimension on a metric.
+type Label struct {
+	Key, Value string
+}
+
+// metricKind discriminates what a registered metric reads from.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered (name, labels) series.
+type metric struct {
+	name   string
+	labels string // rendered {k="v",...}, or ""
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+func (m *metric) series() string { return m.name + m.labels }
+
+// Registry names instruments for exposition. Components create their
+// instruments standalone (the hot path never touches the registry) and
+// the owner registers them once at construction; the registry is then
+// read by the Prometheus and JSON renderers. Registration is
+// idempotent per (name, labels): registering the same series again
+// returns the canonical first instrument, so two components cannot
+// silently split one series.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+// register installs m unless its series exists; it returns the
+// canonical entry and panics on a kind or name conflict (programmer
+// error: a metric name means one thing).
+func (r *Registry) register(m *metric) *metric {
+	if !validMetricName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.index[m.series()]; ok {
+		if prev.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", m.series(), m.kind, prev.kind))
+		}
+		return prev
+	}
+	for _, prev := range r.metrics {
+		if prev.name == m.name && prev.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", m.name, m.kind, prev.kind))
+		}
+	}
+	r.metrics = append(r.metrics, m)
+	r.index[m.series()] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, kind: kindCounter, counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, kind: kindGauge, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// Histogram registers (or returns the existing) histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, kind: kindHistogram, hist: &Histogram{}})
+	return m.hist
+}
+
+// GaugeFunc registers a derived gauge evaluated at scrape time. fn may
+// take component locks (a scrape is not the hot path) but must not
+// block indefinitely.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&metric{name: name, labels: renderLabels(labels), help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// RegisterCounter attaches an existing counter instrument to a series
+// name. The first registration of a series wins; the canonical
+// instrument is returned.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) *Counter {
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, kind: kindCounter, counter: c})
+	return m.counter
+}
+
+// RegisterGauge attaches an existing gauge instrument to a series name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) *Gauge {
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, kind: kindGauge, gauge: g})
+	return m.gauge
+}
+
+// RegisterHistogram attaches an existing histogram instrument to a
+// series name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) *Histogram {
+	m := r.register(&metric{name: name, labels: renderLabels(labels), help: help, kind: kindHistogram, hist: h})
+	return m.hist
+}
+
+// snapshot returns the registered metrics sorted by name then labels —
+// the stable exposition order. Families (same name) stay contiguous.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].name != out[b].name {
+			return out[a].name < out[b].name
+		}
+		return out[a].labels < out[b].labels
+	})
+	return out
+}
+
+// validMetricName enforces the Prometheus metric-name grammar.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces the Prometheus label-name grammar.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders a sorted {k="v",...} block ("" when empty).
+// Values are escaped per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	out := "{"
+	for i, l := range ls {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return out + "}"
+}
+
+func escapeLabelValue(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -57,6 +58,11 @@ type BurnFile struct {
 	sectorSize int
 	reserved   uint64 // == sectors burned; appends only (except compaction)
 	stats      storage.WORMStats
+
+	// Device latency instruments; recorded under the burn-file latch the
+	// operations already hold, named by RegisterMetrics.
+	burnHist obs.Histogram // one Append run per observation
+	readHist obs.Histogram // one ReadAt run per observation
 }
 
 // CreateBurn makes a fresh, empty burn file, removing any stale
@@ -225,7 +231,9 @@ func (b *BurnFile) Append(data []byte) (storage.Addr, error) {
 	b.stats.SectorsBurned += uint64(nsect)
 	b.stats.PayloadBytes += uint64(len(data))
 	b.stats.WastedBytes += uint64(nsect*b.sectorSize - len(data))
-	b.stats.SimTime += time.Since(start)
+	elapsed := time.Since(start)
+	b.stats.SimTime += elapsed
+	b.burnHist.Observe(elapsed)
 	return storage.Addr{Kind: storage.KindWORM, Off: first, Len: uint32(len(data))}, nil
 }
 
@@ -255,7 +263,9 @@ func (b *BurnFile) ReadAt(addr storage.Addr) ([]byte, error) {
 		out = append(out, buf[burnFrameHeader:burnFrameHeader+plen]...)
 		b.stats.SectorReads++
 	}
-	b.stats.SimTime += time.Since(start)
+	elapsed := time.Since(start)
+	b.stats.SimTime += elapsed
+	b.readHist.Observe(elapsed)
 	return out[:addr.Len], nil
 }
 
@@ -265,6 +275,13 @@ func (b *BurnFile) Sync() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.f.Sync()
+}
+
+// RegisterMetrics names the file's device-latency histograms in r.
+func (b *BurnFile) RegisterMetrics(r *obs.Registry) {
+	dev := obs.Label{Key: "device", Value: "worm"}
+	r.RegisterHistogram("tsb_device_burn_seconds", "WORM consolidated-run burn latency", &b.burnHist, dev)
+	r.RegisterHistogram("tsb_device_read_seconds", "WORM run read-back latency", &b.readHist, dev)
 }
 
 // Stats returns a snapshot of the accounting counters (cumulative

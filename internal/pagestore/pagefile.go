@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -77,6 +78,12 @@ type PageFile struct {
 	journaled map[uint64]bool
 
 	stats storage.MagneticStats
+
+	// Device latency instruments; recorded under the page-file latch the
+	// operations already hold, named by RegisterMetrics.
+	readHist  obs.Histogram // one ReadAt per observation
+	writeHist obs.Histogram // one WriteBatch slot loop per observation
+	syncHist  obs.Histogram // one fsync per observation
 }
 
 // Create makes a fresh, empty page file at cfg.Path, removing any stale
@@ -220,7 +227,9 @@ func (p *PageFile) Read(page uint64) ([]byte, error) {
 		return nil, fmt.Errorf("pagestore: read page %d: %w", page, err)
 	}
 	p.stats.Reads++
-	p.stats.SimTime += time.Since(start)
+	elapsed := time.Since(start)
+	p.stats.SimTime += elapsed
+	p.readHist.Observe(elapsed)
 	payload, werr := decodePageFrame(buf[:n], page, p.pageSize)
 	if werr != nil {
 		return nil, werr
@@ -309,7 +318,9 @@ func (p *PageFile) WriteBatch(pages []uint64, datas [][]byte) error {
 		}
 		p.stats.Writes++
 	}
-	p.stats.SimTime += time.Since(start)
+	elapsed := time.Since(start)
+	p.stats.SimTime += elapsed
+	p.writeHist.Observe(elapsed)
 	return nil
 }
 
@@ -317,7 +328,10 @@ func (p *PageFile) WriteBatch(pages []uint64, datas [][]byte) error {
 func (p *PageFile) Sync() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.f.Sync()
+	start := time.Now()
+	err := p.f.Sync()
+	p.syncHist.Observe(time.Since(start))
+	return err
 }
 
 // Stats returns a snapshot of the accounting counters (cumulative
@@ -326,6 +340,14 @@ func (p *PageFile) Stats() storage.MagneticStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// RegisterMetrics names the file's device-latency histograms in r.
+func (p *PageFile) RegisterMetrics(r *obs.Registry) {
+	dev := obs.Label{Key: "device", Value: "page"}
+	r.RegisterHistogram("tsb_device_read_seconds", "page-slot ReadAt latency", &p.readHist, dev)
+	r.RegisterHistogram("tsb_device_write_seconds", "page-slot write-batch latency", &p.writeHist, dev)
+	r.RegisterHistogram("tsb_device_sync_seconds", "page-file fsync latency", &p.syncHist, dev)
 }
 
 // Close closes the page file and any open journal.

@@ -39,7 +39,7 @@ func (s *Server) admit() []byte {
 	if !v.shed {
 		return nil
 	}
-	s.shed.Add(1)
+	s.shed.Inc()
 	return errResp(wire.CodeOverloaded, v.reason)
 }
 

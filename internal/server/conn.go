@@ -68,8 +68,10 @@ func (s *Server) serveConn(nc net.Conn) {
 		for payload := range reqCh {
 			start := time.Now()
 			resp := c.execute(payload)
-			s.hist.observe(time.Since(start))
-			s.ops.Add(1)
+			dur := time.Since(start)
+			s.allHist.Observe(dur)
+			s.opHistFor(payload).Observe(dur)
+			s.ops.Inc()
 			respCh <- resp
 		}
 		s.curs.removeSession(c.sess.id)

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/server/wire"
 )
 
@@ -130,6 +131,9 @@ type Stats struct {
 	P50Micros        uint64 // op execution latency percentiles
 	P99Micros        uint64
 	Draining         bool
+	// PerOp breaks execution latency down by op class; only classes
+	// that executed at least once appear.
+	PerOp []wire.OpClassStats
 }
 
 // Server serves one DB over any number of listeners. It does not own
@@ -156,16 +160,80 @@ type Server struct {
 	janitorWg   sync.WaitGroup
 
 	nextSession atomic.Uint64
-	totalConns  atomic.Uint64
-	inFlight    atomic.Int64
-	ops         atomic.Uint64
-	shed        atomic.Uint64
+	totalConns  obs.Counter
+	inFlight    obs.Gauge
+	ops         obs.Counter
+	shed        obs.Counter
 
 	// Cached admission verdict (admission.go).
 	admitProbe atomic.Int64
 	admitState atomic.Pointer[admitVerdict]
 
-	hist latencyHist
+	// allHist aggregates execution latency across every op; opHists
+	// break it down by op byte (index = wire op code), badHist catches
+	// frames whose op byte is outside the known range.
+	allHist obs.Histogram
+	opHists [wire.OpPing + 1]obs.Histogram
+	badHist obs.Histogram
+}
+
+// opClassNames names each op byte for metrics labels and StatsReply,
+// indexed by wire op code (0 is unused).
+var opClassNames = [wire.OpPing + 1]string{
+	wire.OpHello:       "hello",
+	wire.OpPut:         "put",
+	wire.OpGet:         "get",
+	wire.OpDelete:      "delete",
+	wire.OpCommit:      "commit",
+	wire.OpOpenCursor:  "open_cursor",
+	wire.OpFetch:       "fetch",
+	wire.OpCloseCursor: "close_cursor",
+	wire.OpRefresh:     "refresh",
+	wire.OpStats:       "stats",
+	wire.OpPing:        "ping",
+}
+
+// opHistFor routes an executed request payload to its op-class
+// histogram by the leading op byte.
+func (s *Server) opHistFor(payload []byte) *obs.Histogram {
+	if len(payload) == 0 {
+		return &s.badHist
+	}
+	op := payload[0]
+	if op >= wire.OpHello && op <= wire.OpPing {
+		return &s.opHists[op]
+	}
+	return &s.badHist
+}
+
+// RegisterMetrics attaches the server's instruments to r, alongside the
+// engine's own (db.DB.Metrics()). Safe to call once, any time after New.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("tsb_server_conns_total", "connections ever accepted", &s.totalConns)
+	r.RegisterCounter("tsb_server_ops_total", "operations executed", &s.ops)
+	r.RegisterCounter("tsb_server_shed_total", "writes refused by admission control", &s.shed)
+	r.RegisterGauge("tsb_server_inflight_requests", "requests read but not yet responded", &s.inFlight)
+	r.GaugeFunc("tsb_server_open_conns", "open connections", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+	r.GaugeFunc("tsb_server_open_cursors", "open server-side cursors", func() float64 {
+		open, _ := s.curs.counts()
+		return float64(open)
+	})
+	r.GaugeFunc("tsb_server_cursors_reclaimed_total", "cursors reaped by lease expiry", func() float64 {
+		_, reclaimed := s.curs.counts()
+		return float64(reclaimed)
+	})
+	r.RegisterHistogram("tsb_server_op_seconds", "request execution latency",
+		&s.allHist, obs.Label{Key: "op", Value: "all"})
+	for op := int(wire.OpHello); op <= int(wire.OpPing); op++ {
+		r.RegisterHistogram("tsb_server_op_seconds", "request execution latency",
+			&s.opHists[op], obs.Label{Key: "op", Value: opClassNames[op]})
+	}
+	r.RegisterHistogram("tsb_server_op_seconds", "request execution latency",
+		&s.badHist, obs.Label{Key: "op", Value: "other"})
 }
 
 // New builds a server over d and starts the cursor-lease janitor.
@@ -216,7 +284,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[nc] = struct{}{}
 		s.connWg.Add(1)
 		s.mu.Unlock()
-		s.totalConns.Add(1)
+		s.totalConns.Inc()
 		go s.serveConn(nc)
 	}
 }
@@ -297,7 +365,7 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	s.mu.Unlock()
 	open, reclaimed := s.curs.counts()
-	return Stats{
+	st := Stats{
 		Conns:            conns,
 		TotalConns:       s.totalConns.Load(),
 		InFlight:         s.inFlight.Load(),
@@ -305,10 +373,31 @@ func (s *Server) Stats() Stats {
 		Shed:             s.shed.Load(),
 		Cursors:          open,
 		CursorsReclaimed: reclaimed,
-		P50Micros:        s.hist.percentile(0.50),
-		P99Micros:        s.hist.percentile(0.99),
+		P50Micros:        s.allHist.Percentile(0.50),
+		P99Micros:        s.allHist.Percentile(0.99),
 		Draining:         draining,
 	}
+	for op := int(wire.OpHello); op <= int(wire.OpPing); op++ {
+		st.PerOp = appendOpClass(st.PerOp, opClassNames[op], &s.opHists[op])
+	}
+	st.PerOp = appendOpClass(st.PerOp, "other", &s.badHist)
+	return st
+}
+
+// appendOpClass appends h's summary under name, skipping classes that
+// never executed.
+func appendOpClass(dst []wire.OpClassStats, name string, h *obs.Histogram) []wire.OpClassStats {
+	n := h.Count()
+	if n == 0 {
+		return dst
+	}
+	return append(dst, wire.OpClassStats{
+		Name:      name,
+		Count:     n,
+		P50Micros: h.Percentile(0.50),
+		P99Micros: h.Percentile(0.99),
+		MaxMicros: h.MaxMicros(),
+	})
 }
 
 // WireStats converts Stats for the OpStats reply.
@@ -324,6 +413,7 @@ func (st Stats) WireStats() wire.StatsReply {
 		P50Micros:        st.P50Micros,
 		P99Micros:        st.P99Micros,
 		Draining:         st.Draining,
+		PerOp:            st.PerOp,
 	}
 }
 

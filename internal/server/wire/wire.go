@@ -273,6 +273,20 @@ type StatsReply struct {
 	P50Micros        uint64 // op latency percentiles (histogram upper bounds)
 	P99Micros        uint64
 	Draining         bool
+	// PerOp breaks op latency down by op class, executed classes only.
+	// The list trails the fixed fields on the wire and may be absent (a
+	// pre-extension peer): absence decodes as nil.
+	PerOp []OpClassStats
+}
+
+// OpClassStats is one op class's latency summary inside StatsReply.
+// Percentiles and max are histogram upper bounds in microseconds.
+type OpClassStats struct {
+	Name      string
+	Count     uint64
+	P50Micros uint64
+	P99Micros uint64
+	MaxMicros uint64
 }
 
 // AppendStatsReply appends the OK response body of an OpStats request.
@@ -288,6 +302,14 @@ func AppendStatsReply(buf []byte, s StatsReply) []byte {
 	e.Uvarint(s.P50Micros)
 	e.Uvarint(s.P99Micros)
 	e.Bool(s.Draining)
+	e.Uvarint(uint64(len(s.PerOp)))
+	for _, oc := range s.PerOp {
+		e.Blob([]byte(oc.Name))
+		e.Uvarint(oc.Count)
+		e.Uvarint(oc.P50Micros)
+		e.Uvarint(oc.P99Micros)
+		e.Uvarint(oc.MaxMicros)
+	}
 	return e.Bytes()
 }
 
@@ -304,6 +326,21 @@ func DecodeStatsReply(d *record.Decoder) (StatsReply, error) {
 	s.P50Micros = d.Uvarint()
 	s.P99Micros = d.Uvarint()
 	s.Draining = d.Bool()
+	if d.Err() == nil && d.Remaining() > 0 {
+		n := d.Uvarint()
+		if n > 64 {
+			return StatsReply{}, fmt.Errorf("wire: %d op classes in stats reply", n)
+		}
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			var oc OpClassStats
+			oc.Name = string(d.Blob())
+			oc.Count = d.Uvarint()
+			oc.P50Micros = d.Uvarint()
+			oc.P99Micros = d.Uvarint()
+			oc.MaxMicros = d.Uvarint()
+			s.PerOp = append(s.PerOp, oc)
+		}
+	}
 	if err := d.Err(); err != nil {
 		return StatsReply{}, err
 	}

@@ -70,8 +70,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -172,9 +174,15 @@ type Manager struct {
 	lockMu sync.Mutex        //tsb:latch level=7 name=lock-table
 	locks  map[string]uint64 // key -> txn id holding the write lock
 
-	begun, committed, aborted, readers, conflicts atomic.Uint64
-	commitBatches                                 atomic.Uint64
+	// Outcome counters are obs instruments — the one source of truth;
+	// Stats() derives from them and RegisterMetrics names them.
+	begun, committed, aborted, readers, conflicts obs.Counter
+	commitBatches                                 obs.Counter
 	activeUpdaters                                atomic.Int64
+	// commitLatency times Commit from enqueue to acknowledged result:
+	// the full group-commit wait, including the batch's log append and
+	// fsync whether this transaction led the batch or rode along.
+	commitLatency obs.Histogram
 }
 
 // commitReq is one transaction waiting in the group-commit queue.
@@ -277,6 +285,26 @@ func (m *Manager) Stats() Stats {
 		Conflicts:     m.conflicts.Load(),
 		CommitBatches: m.commitBatches.Load(),
 	}
+}
+
+// CommitLatencyHist exposes the commit-latency histogram (the status
+// surfaces render its quantiles).
+func (m *Manager) CommitLatencyHist() *obs.Histogram { return &m.commitLatency }
+
+// RegisterMetrics names the manager's instruments in r; the engine
+// facade calls it once at open.
+func (m *Manager) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("tsb_txns_begun_total", "updating transactions begun", &m.begun)
+	r.RegisterCounter("tsb_commits_total", "transactions committed", &m.committed)
+	r.RegisterCounter("tsb_aborts_total", "transactions aborted", &m.aborted)
+	r.RegisterCounter("tsb_readers_total", "read-only transactions opened", &m.readers)
+	r.RegisterCounter("tsb_conflicts_total", "no-wait lock conflicts", &m.conflicts)
+	r.RegisterCounter("tsb_commit_batches_total", "group-commit batches posted", &m.commitBatches)
+	r.RegisterHistogram("tsb_commit_latency_seconds",
+		"Commit wait from enqueue to acknowledgment, including the batch log append and fsync", &m.commitLatency)
+	r.GaugeFunc("tsb_active_updaters", "updating transactions in flight", func() float64 {
+		return float64(m.activeUpdaters.Load())
+	})
 }
 
 // Now returns the last fully-posted commit timestamp.
@@ -433,6 +461,7 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	req := &commitReq{id: t.id, writes: t.sortedWrites(), done: make(chan commitResult, 1)}
+	start := time.Now()
 	m.qMu.Lock()
 	m.queue = append(m.queue, req)
 	m.qMu.Unlock()
@@ -444,6 +473,7 @@ func (t *Txn) Commit() error {
 	case m.leaderCh <- struct{}{}:
 		res = m.lead(req)
 	}
+	m.commitLatency.Observe(time.Since(start))
 	if res.err != nil {
 		return res.err
 	}

@@ -55,7 +55,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -154,8 +156,15 @@ type Log struct {
 	seg    uint64
 	lsn    uint64
 	broken error
-	stats  Stats
-	// ckptBytes is stats.Bytes at the last MarkCheckpoint: the anchor
+	// The append accounting lives in obs instruments — the one source
+	// of truth; Stats() derives its snapshot from them and
+	// RegisterMetrics names them for exposition.
+	appends obs.Counter
+	records obs.Counter
+	syncs   obs.Counter
+	bytes   obs.Counter
+	fsync   obs.Histogram // append-path fsync latency
+	// ckptBytes is bytes.Load() at the last MarkCheckpoint: the anchor
 	// Stats derives BacklogBytes from.
 	ckptBytes uint64
 }
@@ -224,18 +233,20 @@ func (l *Log) AppendBatch(recs []txn.CommitRecord) error {
 		buf = appendFrame(buf, encodeCommit(l.lsn, rec))
 	}
 	n, err := l.f.Write(buf)
-	l.stats.Bytes += uint64(n)
+	l.bytes.Add(uint64(n))
 	if err != nil {
 		l.broken = fmt.Errorf("wal: segment %d append: %w", l.seg, err)
 		return l.broken
 	}
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.broken = fmt.Errorf("wal: segment %d sync: %w", l.seg, err)
 		return l.broken
 	}
-	l.stats.Appends++
-	l.stats.Records += uint64(len(recs))
-	l.stats.Syncs++
+	l.fsync.Observe(time.Since(syncStart))
+	l.appends.Inc()
+	l.records.Add(uint64(len(recs)))
+	l.syncs.Inc()
 	return nil
 }
 
@@ -294,13 +305,44 @@ func (l *Log) LastLSN() uint64 {
 	return l.lsn
 }
 
-// Stats returns a snapshot of the append accounting.
+// Stats returns a snapshot of the append accounting, derived from the
+// log's registered instruments.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	st := l.stats
+	st := Stats{
+		Appends: l.appends.Load(),
+		Records: l.records.Load(),
+		Syncs:   l.syncs.Load(),
+		Bytes:   l.bytes.Load(),
+	}
 	st.BacklogBytes = st.Bytes - l.ckptBytes
 	return st
+}
+
+// FsyncHist exposes the append-path fsync latency histogram (the status
+// surfaces render its quantiles).
+func (l *Log) FsyncHist() *obs.Histogram { return &l.fsync }
+
+// RegisterMetrics names the log's instruments in r; the engine facade
+// calls it once at open. The derived gauges take the log mutex at
+// scrape time only.
+func (l *Log) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("tsb_wal_appends_total", "group-commit batches appended", &l.appends)
+	r.RegisterCounter("tsb_wal_records_total", "commit records appended", &l.records)
+	r.RegisterCounter("tsb_wal_syncs_total", "append-path fsyncs issued", &l.syncs)
+	r.RegisterCounter("tsb_wal_bytes_total", "bytes durably written to log segments", &l.bytes)
+	r.RegisterHistogram("tsb_wal_fsync_seconds", "append-path fsync latency", &l.fsync)
+	r.GaugeFunc("tsb_wal_backlog_bytes", "log bytes appended since the last checkpoint install", func() float64 {
+		return float64(l.Stats().BacklogBytes)
+	})
+	r.GaugeFunc("tsb_wal_records_per_sync", "group-commit amortization: commit records per fsync", func() float64 {
+		syncs := l.syncs.Load()
+		if syncs == 0 {
+			return 0
+		}
+		return float64(l.records.Load()) / float64(syncs)
+	})
 }
 
 // MarkCheckpoint anchors the backlog gauge: the checkpointer calls it
@@ -309,7 +351,7 @@ func (l *Log) Stats() Stats {
 func (l *Log) MarkCheckpoint() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.ckptBytes = l.stats.Bytes
+	l.ckptBytes = l.bytes.Load()
 }
 
 // Close closes the current segment. Further appends fail.
