@@ -12,7 +12,9 @@
 // the maintenance-ckpt-pause point on the per-checkpoint commit
 // pause (lower is better); the server-throughput points on ops/sec and
 // the server-p99-us points on the closed-loop served tail latency
-// (lower is better).
+// (lower is better); the query-pushdown point on pages read by the
+// pushed-down filter (lower is better) and the query-parallel point on
+// the parallel-scan speedup (higher is better).
 //
 // Usage:
 //
@@ -52,6 +54,7 @@ type point struct {
 	WasteReclaimed   uint64  `json:"waste_reclaimed_b,omitempty"`
 	CkptPauseMillis  float64 `json:"ckpt_pause_ms,omitempty"`
 	ServerP99Micros  float64 `json:"server_p99_us,omitempty"`
+	QuerySpeedup     float64 `json:"query_speedup,omitempty"`
 }
 
 // key identifies a trajectory point across runs.
@@ -120,6 +123,10 @@ func metric(p point) (name string, value float64, lowerIsBetter bool) {
 		// Served closed-loop tail latency: client-observed
 		// send-to-response p99 through the tsbserve protocol.
 		return "server-p99-us", p.ServerP99Micros, true
+	case p.QuerySpeedup > 0:
+		// Parallel-scan speedup over the serial plan: regresses downward
+		// (the per-shard fan-out stops paying for its merge).
+		return "speedup", p.QuerySpeedup, false
 	default:
 		return "ops/sec", p.OpsPerSec, false
 	}

@@ -1,4 +1,4 @@
-// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E16)
+// Command tsbench runs the reproduction's experiments (DESIGN.md, E1-E17)
 // and prints their tables: the measurement plan stated in §3.2/§5 of
 // Lomet & Salzberg (SIGMOD 1989) plus the paper's qualitative claims, the
 // concurrent sharded-engine scaling run (E10), the group-commit
@@ -10,7 +10,9 @@
 // checkpoint pause under concurrent writers plus compaction reclaim),
 // and the closed-loop service-layer run (E16, pipelined client
 // connections over loopback TCP against the tsbserve protocol,
-// migration inline vs background).
+// migration inline vs background), and the temporal query engine run
+// (E17, operator-composed filter pushdown vs materialize-then-filter
+// page reads, plus parallel per-shard scan speedup).
 //
 // Usage:
 //
@@ -74,7 +76,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 16; i++ {
+		for i := 1; i <= 17; i++ {
 			want[fmt.Sprintf("E%d", i)] = true
 		}
 	} else {
@@ -291,6 +293,26 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers,
 					ServerP99Micros: r.P99Micros})
 		}
 	}
+	// E17 serves the printed table and two archived points: the pushdown
+	// page-read cost (lower is better; strictly below the materialized
+	// plan's) and the parallel-scan speedup (higher is better).
+	var queryPoints []benchPoint
+	if want["E17"] || archive {
+		qKeys := min(max(p.Ops, 2000), 25_000)
+		res, tab, err := experiments.E17QueryEngine(8, qKeys, 5)
+		if err != nil {
+			return err
+		}
+		if want["E17"] {
+			fmt.Println(tab)
+		}
+		queryPoints = []benchPoint{
+			{Experiment: "query-pushdown", Shards: res.Shards, Ops: uint64(res.Versions),
+				PageReads: float64(res.PagesComposed)},
+			{Experiment: "query-parallel", Shards: res.Shards, Ops: uint64(res.Versions),
+				ElapsedSec: res.ParallelMillis / 1000, QuerySpeedup: res.Speedup},
+		}
+	}
 	if archive {
 		extra, err := trajectoryPoints(p)
 		if err != nil {
@@ -301,6 +323,7 @@ func run(want map[string]bool, p experiments.Params, shardCounts []int, workers,
 		points = append(points, migPoints...)
 		points = append(points, maintPoints...)
 		points = append(points, servePoints...)
+		points = append(points, queryPoints...)
 		if err := writeBenchJSON(benchJSON, points); err != nil {
 			return err
 		}
@@ -376,6 +399,11 @@ type benchPoint struct {
 	// the closed-loop served run (server-p99-us points, one per
 	// migration mode; lower is better).
 	ServerP99Micros float64 `json:"server_p99_us,omitempty"`
+	// QuerySpeedup is serial/parallel full-scan wall-clock for the
+	// operator-composed query engine (query-parallel points; higher is
+	// better). The query-pushdown points reuse PageReads: buffer fetches
+	// for the pushed-down low-selectivity filter (lower is better).
+	QuerySpeedup float64 `json:"query_speedup,omitempty"`
 }
 
 // e10Points converts the E10 results to archive records.

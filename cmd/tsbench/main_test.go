@@ -47,8 +47,9 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 	// commit) plus the two migration-latency points (inline/background)
 	// plus the two maintenance points (compaction, checkpoint pause)
 	// plus the four served closed-loop points (throughput and p99, one
-	// pair per migration mode).
-	if len(points) != 15 {
+	// pair per migration mode) plus the two query-engine points
+	// (pushdown page reads, parallel-scan speedup).
+	if len(points) != 17 {
 		t.Fatalf("got %d bench points: %+v", len(points), points)
 	}
 	if points[0].OpsPerSec <= 0 || points[1].Shards != 2 {
@@ -92,6 +93,12 @@ func TestRunConcurrentWritesBenchJSON(t *testing.T) {
 		if p := byExp["server-p99-us-"+mode]; p.ServerP99Micros <= 0 {
 			t.Errorf("server-p99-us-%s point = %+v", mode, p)
 		}
+	}
+	if p := byExp["query-pushdown"]; p.PageReads <= 0 {
+		t.Errorf("query-pushdown point = %+v", p)
+	}
+	if p := byExp["query-parallel"]; p.QuerySpeedup <= 0 {
+		t.Errorf("query-parallel point = %+v", p)
 	}
 }
 

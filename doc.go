@@ -30,11 +30,20 @@
 //     also defines the shard-boundary key codec);
 //   - internal/txn, internal/secondary, internal/db: the §4/§3.6
 //     transaction and secondary-index layers and the engine facade;
+//   - internal/query: the temporal query engine — §2.5's query classes
+//     as composable streaming operators (filter with key-range
+//     pushdown, project, merge join, secondary-index join, group-by,
+//     limit) over snapshot/window/history/diff sources, compiled
+//     against a snapshot and run serially or one-cursor-per-shard with
+//     an ordered merge (db.Query/db.QueryAt embedded, OpOpenQuery/
+//     OpQueryFetch over the wire; see the "Temporal query engine"
+//     section of docs/ARCHITECTURE.md for the operator contract, the
+//     pushdown rules, and the one-latch invariant);
 //   - internal/wal: the durability subsystem — a CRC-framed,
 //     fsync-batched write-ahead log of commit records plus logical
 //     checkpoints;
 //   - internal/workload, internal/metrics, internal/experiments: the
-//     evaluation harness (experiments E1-E16, see EXPERIMENTS.md);
+//     evaluation harness (experiments E1-E17, see EXPERIMENTS.md);
 //   - internal/obs: the observability substrate — atomic counters,
 //     gauges, and lock-free latency histograms behind a registry with
 //     Prometheus-text and JSON exposition, plus ring-buffer event and
@@ -116,7 +125,10 @@
 // shard's materialized window scan (From/To cursors) — so a Limit=1 read
 // over a 100k-version snapshot costs O(tree height) page reads
 // (BenchmarkCursorLimit1). The slice-returning scan APIs survive as thin
-// Collect wrappers.
+// Collect wrappers. Composed queries (db.Query, internal/query) stack
+// streaming operators on those cursors and inherit the contract
+// unchanged; experiment E17 (`tsbench -exp E17`) measures the filter
+// pushdown's page-read gap and the parallel per-shard scan speedup.
 //
 // The benchmarks in bench_test.go regenerate every experiment and the
 // shard-scaling curves; the binaries under cmd/ print the experiment

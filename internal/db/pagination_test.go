@@ -1,0 +1,90 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// TestScanLimitAfterAcrossShardSplit paginates with ScanOptions.Limit
+// and After in Limit=3 windows across the split point of a 2-shard
+// database: the resume key lands exactly on, just before, and just
+// after the shard boundary as the windows march over it, and no key may
+// be skipped or duplicated by the shard hand-off.
+func TestScanLimitAfterAcrossShardSplit(t *testing.T) {
+	const shards = 2
+	d := open(t, Config{Shards: shards})
+
+	// Keys straddling the boundary: a run ending right below it, the
+	// boundary key itself, and a run above it. With Limit=3 the windows
+	// hit every alignment of the split point.
+	boundary := record.ShardBoundary(1, shards)
+	var keys []record.Key
+	for i := 0; i < 7; i++ {
+		keys = append(keys, append(record.Key{boundary[0] - 1}, []byte(fmt.Sprintf("b%02d", i))...))
+	}
+	keys = append(keys, boundary.Clone())
+	for i := 0; i < 7; i++ {
+		keys = append(keys, append(boundary.Clone(), []byte(fmt.Sprintf("a%02d", i))...))
+	}
+	for _, k := range keys {
+		if record.ShardOfKey(k, shards) != 0 && record.ShardOfKey(k, shards) != 1 {
+			t.Fatalf("key %x in unexpected shard", k)
+		}
+		err := d.Update(func(tx *txn.Txn) error { return tx.Put(k, []byte("v")) })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lo := record.ShardOfKey(keys[0], shards); lo != 0 {
+		t.Fatalf("low run not in shard 0 (shard %d): the test no longer straddles the split", lo)
+	}
+	if hi := record.ShardOfKey(boundary, shards); hi != 1 {
+		t.Fatalf("boundary key not in shard 1 (shard %d)", hi)
+	}
+
+	// Paginate forward in Limit=3 windows, resuming with After.
+	var got []string
+	var after record.Key
+	for page := 0; ; page++ {
+		if page > len(keys) {
+			t.Fatal("pagination did not terminate")
+		}
+		opts := ScanOptions{Limit: 3}
+		if after != nil {
+			opts.After = after
+		}
+		c := d.Cursor(nil, record.InfiniteBound(), opts)
+		n := 0
+		for c.Next() {
+			v := c.Version()
+			got = append(got, string(v.Key))
+			after = v.Key.Clone()
+			n++
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if n > 3 {
+			t.Fatalf("page %d returned %d keys, limit 3", page, n)
+		}
+	}
+
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = string(k)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paginated %d keys, want %d:\n got %q\nwant %q", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %q want %q (skip or duplicate at the shard split)", i, got[i], want[i])
+		}
+	}
+}

@@ -355,6 +355,49 @@ func (s *shardedStore) ScanPageAsOf(at record.Timestamp, low record.Key, high re
 	}
 }
 
+// ScanRangePage streams one latch-scoped, key-paged batch of a temporal
+// range query — the window-mode twin of ScanPageAsOf. It read-latches
+// exactly one shard at a time, for the duration of one ScanRangePage call
+// on that shard's tree, and hands the window off across shard boundaries
+// through the page's NextLow: a window cursor pausing between pages
+// blocks no writer on any shard. Shard order equals key order, so pages
+// concatenate in ScanRange's (key, time) order with no interleaving.
+func (s *shardedStore) ScanRangePage(low record.Key, high record.Bound, from, to record.Timestamp) (core.Page, error) {
+	n := len(s.shards)
+	i := record.ShardOfKey(low, n)
+	last := n - 1
+	if !high.IsInfinite() {
+		last = record.ShardOfKey(high.Key(), n)
+	}
+	lo := low
+	for {
+		_, shHigh := record.ShardRange(i, n)
+		clampHigh := high
+		if shHigh.Compare(high) < 0 {
+			clampHigh = shHigh
+		}
+		sh := s.shards[i]
+		sh.mu.RLock()
+		page, err := sh.tree.ScanRangePage(lo, clampHigh, from, to)
+		sh.mu.RUnlock()
+		if err != nil {
+			return core.Page{}, fmt.Errorf("db: shard %d: %w", i, err)
+		}
+		if page.More || i >= last {
+			return page, nil
+		}
+		// This shard is exhausted: resume at the next shard's boundary.
+		i++
+		next := record.ShardBoundary(i, n)
+		if len(page.Versions) > 0 {
+			page.NextLow = next
+			page.More = true
+			return page, nil
+		}
+		lo = next
+	}
+}
+
 func (s *shardedStore) Diff(low record.Key, high record.Bound, from, to record.Timestamp) ([]core.Change, error) {
 	var out []core.Change
 	lo, hi := s.shardSpan(low, high)
@@ -440,8 +483,9 @@ func (s *shardedStore) checkInvariants() error {
 }
 
 var (
-	_ txn.Store       = (*shardedStore)(nil)
-	_ txn.Differ      = (*shardedStore)(nil)
-	_ txn.CursorStore = (*shardedStore)(nil)
-	_ txn.PartedStore = (*shardedStore)(nil)
+	_ txn.Store             = (*shardedStore)(nil)
+	_ txn.Differ            = (*shardedStore)(nil)
+	_ txn.CursorStore       = (*shardedStore)(nil)
+	_ txn.PartedStore       = (*shardedStore)(nil)
+	_ txn.WindowCursorStore = (*shardedStore)(nil)
 )

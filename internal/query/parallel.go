@@ -1,0 +1,148 @@
+package query
+
+import (
+	"sync"
+
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// parallelBatch is how many versions a shard worker hands over per
+// channel send; parallelDepth is each channel's buffer in batches.
+const (
+	parallelBatch = 128
+	parallelDepth = 4
+)
+
+// parallelScan runs one goroutine per shard, each driving its own
+// shard-clamped cursor, feeding an ordered merge: shard order equals
+// key order, so merging is draining the channels in shard order
+// (reverse shard order for reverse scans).
+//
+// The latch discipline is unchanged from the serial merge cursor — each
+// worker's cursor bounds lie inside one shard, so each goroutine holds
+// at most its own shard's latch, and only during a fill. Between sends
+// a worker holds nothing; an abandoned scan is torn down by Close,
+// which the workers observe on their next send.
+type parallelScan struct {
+	chans []chan []record.Version
+	order []int
+	errs  chan error
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	oi     int
+	buf    []record.Version
+	pos    int
+	row    Row
+	err    error
+	closed bool
+}
+
+func newParallelScan(src Source, shards int, low record.Key, high record.Bound, opts txn.ScanOptions) *parallelScan {
+	p := &parallelScan{
+		chans: make([]chan []record.Version, shards),
+		order: make([]int, shards),
+		errs:  make(chan error, shards),
+		done:  make(chan struct{}),
+	}
+	for i := range p.order {
+		if opts.Reverse {
+			p.order[i] = shards - 1 - i
+		} else {
+			p.order[i] = i
+		}
+	}
+	for i := 0; i < shards; i++ {
+		p.chans[i] = make(chan []record.Version, parallelDepth)
+		shLow, shHigh := record.ShardRange(i, shards)
+		lo := low
+		if lo.Compare(shLow) < 0 {
+			lo = shLow
+		}
+		hi := high
+		if shHigh.Compare(high) < 0 {
+			hi = shHigh
+		}
+		p.wg.Add(1)
+		go p.worker(src, i, lo, hi, opts)
+	}
+	return p
+}
+
+func (p *parallelScan) worker(src Source, i int, lo record.Key, hi record.Bound, opts txn.ScanOptions) {
+	defer p.wg.Done()
+	defer close(p.chans[i])
+	cur := src.Cursor(lo, hi, opts)
+	defer cur.Close()
+	batch := make([]record.Version, 0, parallelBatch)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case p.chans[i] <- batch:
+			batch = make([]record.Version, 0, parallelBatch)
+			return true
+		case <-p.done:
+			return false
+		}
+	}
+	for cur.Next() {
+		if batch = append(batch, cur.Version()); len(batch) >= parallelBatch {
+			if !flush() {
+				return
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		p.errs <- err
+		return
+	}
+	flush()
+}
+
+func (p *parallelScan) Next() bool {
+	if p.err != nil || p.closed {
+		return false
+	}
+	for {
+		if p.pos < len(p.buf) {
+			p.row = Row{Key: p.buf[p.pos].Key, Versions: p.buf[p.pos : p.pos+1]}
+			p.pos++
+			return true
+		}
+		if p.oi >= len(p.order) {
+			return false
+		}
+		batch, ok := <-p.chans[p.order[p.oi]]
+		if !ok {
+			// A closed channel is either an exhausted shard or a failed
+			// one; stop at the first failure rather than emitting rows
+			// past a hole in the key space.
+			select {
+			case p.err = <-p.errs:
+				return false
+			default:
+			}
+			p.oi++
+			continue
+		}
+		p.buf, p.pos = batch, 0
+	}
+}
+
+func (p *parallelScan) Row() Row   { return p.row }
+func (p *parallelScan) Err() error { return p.err }
+
+// Close tears the scan down: workers parked on a send observe done and
+// exit; Close returns once every worker goroutine has finished.
+func (p *parallelScan) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,137 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/record"
+	"repro/internal/server/wire"
+)
+
+// QueryScan is the client iterator over a server-side query cursor: a
+// composed operator tree (filter, join, group-by, diff, history —
+// internal/query) executing on the server, streamed back in row
+// batches. Between batches the server's pipeline idles latch-free; an
+// abandoned QueryScan is reclaimed by the cursor lease.
+type QueryScan struct {
+	c     *Client
+	id    uint64
+	batch uint64
+	buf   []query.Row
+	pos   int
+	done  bool
+	err   error
+}
+
+// QueryOptions shapes a QueryScan.
+type QueryOptions struct {
+	BatchSize uint64 // rows per fetch frame (0 = server default)
+}
+
+// QueryScan ships spec to the server, compiles it against the
+// session's snapshot and namespace, and returns the row iterator.
+// Specs holding a Where closure cannot travel and are refused locally.
+func (c *Client) QueryScan(spec *query.Spec, opts QueryOptions) (*QueryScan, error) {
+	req, err := wire.AppendOpenQuery(nil, spec)
+	if err != nil {
+		return nil, err
+	}
+	call, err := c.send(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.wait(call)
+	if err != nil {
+		return nil, err
+	}
+	d := record.NewDecoder(body)
+	id := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("client: short open-query reply: %w", err)
+	}
+	return &QueryScan{c: c, id: id, batch: opts.BatchSize}, nil
+}
+
+// Next advances to the next row, fetching the next batch when the
+// local one is drained. It returns false at the end of the stream or
+// on error (check Err).
+func (q *QueryScan) Next() bool {
+	if q.err != nil {
+		return false
+	}
+	for q.pos >= len(q.buf) {
+		if q.done {
+			return false
+		}
+		if !q.fetch() {
+			return false
+		}
+	}
+	q.pos++
+	return true
+}
+
+func (q *QueryScan) fetch() bool {
+	call, err := q.c.send(wire.AppendQueryFetch(nil, q.id, q.batch))
+	var body []byte
+	if err == nil {
+		body, err = q.c.wait(call)
+	}
+	if err != nil {
+		q.err = err
+		return false
+	}
+	d := record.NewDecoder(body)
+	q.buf = q.buf[:0]
+	q.pos = 0
+	for d.Uvarint() == 1 {
+		r, rerr := wire.DecodeRow(d)
+		if rerr != nil {
+			q.err = fmt.Errorf("client: bad query row: %w", rerr)
+			return false
+		}
+		q.buf = append(q.buf, r)
+	}
+	q.done = d.Bool()
+	if err := d.Err(); err != nil {
+		q.err = fmt.Errorf("client: short query-fetch reply: %w", err)
+		return false
+	}
+	return true
+}
+
+// Row returns the row Next advanced to.
+func (q *QueryScan) Row() query.Row { return q.buf[q.pos-1] }
+
+// Err returns the scan's terminal error, typed *wire.Error for server
+// refusals.
+func (q *QueryScan) Err() error { return q.err }
+
+// Close releases the server-side query cursor (and its operator
+// pipeline); safe after exhaustion — the server already removed it.
+func (q *QueryScan) Close() error {
+	if q.done {
+		return nil
+	}
+	e := record.NewEncoder(make([]byte, 0, 12))
+	e.Byte(wire.OpCloseCursor)
+	e.Uvarint(q.id)
+	call, err := q.c.send(e.Bytes())
+	if err != nil {
+		return err
+	}
+	_, err = q.c.wait(call)
+	return err
+}
+
+// Collect drains the scan into a slice and closes it.
+func (q *QueryScan) Collect() ([]query.Row, error) {
+	var out []query.Row
+	for q.Next() {
+		out = append(out, q.Row())
+	}
+	if q.err != nil {
+		return out, q.err
+	}
+	return out, q.Close()
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/query"
 	"repro/internal/record"
 	"repro/internal/server/wire"
 	"repro/internal/txn"
@@ -176,6 +177,10 @@ func (c *conn) respond(payload []byte) []byte {
 		return c.opStats(d)
 	case wire.OpPing:
 		return c.opPing(d)
+	case wire.OpOpenQuery:
+		return c.opOpenQuery(d)
+	case wire.OpQueryFetch:
+		return c.opQueryFetch(d)
 	}
 	return errResp(wire.CodeBadRequest, "unknown op")
 }
@@ -375,6 +380,10 @@ func (c *conn) opFetch(d *record.Decoder) []byte {
 	if !found {
 		return errResp(wire.CodeUnknownCursor, "no such cursor (closed, expired, or another session's)")
 	}
+	if cu.op != nil {
+		c.srv.curs.checkin(id, cu, nil, 0, false)
+		return errResp(wire.CodeBadRequest, "query cursor: use query-fetch")
+	}
 	if cu.remaining == 0 {
 		// The client Limit is spent: terminal empty batch.
 		c.srv.curs.checkin(id, cu, nil, 0, true)
@@ -430,6 +439,147 @@ func (c *conn) opFetch(d *record.Decoder) []byte {
 	// size budget stopped us) or the client's Limit is spent.
 	done := (count < n && !sized) || (cu.remaining > 0 && count >= cu.remaining)
 	c.srv.curs.checkin(id, cu, last, count, done)
+	e.Uvarint(0) // end of batch
+	e.Bool(done)
+	return e.Bytes()
+}
+
+// namespaceSpec maps a tenant-relative operator tree into the
+// session's slice of the keyspace — the query-shaped form of what
+// opOpenCursor does to its bounds. Primary-key fields (scan/diff
+// windows, history keys, filter ranges) are prefixed; secondary keys
+// are not (the index maps them to already-prefixed primary keys, and
+// the semi-join intersects with the tenant-clamped primary stream).
+// The decoded tree is ours to mutate in place.
+func (c *conn) namespaceSpec(s *query.Spec) *query.Spec {
+	if s == nil {
+		return nil
+	}
+	switch s.Kind {
+	case query.OpScan, query.OpDiff:
+		s.Low = record.PrefixKey(c.sess.tenant, s.Low)
+		if s.High.IsInfinite() {
+			s.High = c.sess.nsHigh
+		} else {
+			s.High = record.KeyBound(record.PrefixKey(c.sess.tenant, s.High.Key()))
+		}
+	case query.OpHistory:
+		s.Key = record.PrefixKey(c.sess.tenant, s.Key)
+	case query.OpFilter:
+		if s.HasKeyRange {
+			s.FilterLow = record.PrefixKey(c.sess.tenant, s.FilterLow)
+			if s.FilterHigh.IsInfinite() {
+				s.FilterHigh = c.sess.nsHigh
+			} else {
+				s.FilterHigh = record.KeyBound(record.PrefixKey(c.sess.tenant, s.FilterHigh.Key()))
+			}
+		}
+	}
+	s.Input = c.namespaceSpec(s.Input)
+	s.Left = c.namespaceSpec(s.Left)
+	s.Right = c.namespaceSpec(s.Right)
+	return s
+}
+
+// opOpenQuery compiles a shipped operator tree at the session snapshot
+// and registers its live pipeline as a query cursor. Malformed trees —
+// decode failures and Validate refusals alike — are the typed
+// bad-request; nothing panics on crafted bytes.
+func (c *conn) opOpenQuery(d *record.Decoder) []byte {
+	spec, err := wire.DecodeOpenQuery(d)
+	if err != nil {
+		return errResp(wire.CodeBadRequest, err.Error())
+	}
+	op, err := c.srv.db.QueryAt(c.sess.at, c.namespaceSpec(spec))
+	if err != nil {
+		if errors.Is(err, query.ErrBadSpec) {
+			return errResp(wire.CodeBadRequest, err.Error())
+		}
+		return dbErrResp(err)
+	}
+	id := c.srv.curs.add(&cursorState{
+		sess:      c.sess.id,
+		at:        c.sess.at,
+		remaining: -1,
+		expires:   time.Now().Add(c.srv.cfg.CursorLease),
+		op:        op,
+	})
+	e := ok()
+	e.Uvarint(id)
+	return e.Bytes()
+}
+
+// opQueryFetch drains one row batch from a query cursor's pipeline.
+// The operator stays checked out for the duration (the busy flag
+// serializes fetches and holds the janitor off), and between fetches
+// it idles latch-free under its lease.
+func (c *conn) opQueryFetch(d *record.Decoder) []byte {
+	id := d.Uvarint()
+	maxN := d.Uvarint()
+	if d.Err() != nil {
+		return errResp(wire.CodeBadRequest, "short query-fetch")
+	}
+	if maxN == 0 {
+		maxN = 128
+	}
+	maxN = min(maxN, 1024)
+
+	cu, found := c.srv.curs.checkout(id, c.sess.id, time.Now().Add(c.srv.cfg.CursorLease))
+	if !found {
+		return errResp(wire.CodeUnknownCursor, "no such cursor (closed, expired, or another session's)")
+	}
+	if cu.op == nil {
+		c.srv.curs.checkin(id, cu, nil, 0, false)
+		return errResp(wire.CodeBadRequest, "range cursor: use fetch")
+	}
+
+	fail := func(code byte, msg string) []byte {
+		_ = cu.op.Close()
+		cu.op = nil
+		c.srv.curs.checkin(id, cu, nil, 0, true)
+		return errResp(code, msg)
+	}
+
+	budget := c.srv.cfg.MaxFrameBytes - 256
+	e := ok()
+	count := 0
+	done := false
+	for count < int(maxN) {
+		if !cu.op.Next() {
+			if err := cu.op.Err(); err != nil {
+				return fail(wire.CodeInternal, err.Error())
+			}
+			done = true
+			break
+		}
+		r := cu.op.Row()
+		sk, okStrip := record.StripPrefix(c.sess.tenant, r.Key)
+		if !okStrip {
+			return fail(wire.CodeInternal, "query row outside session namespace")
+		}
+		r.Key = sk
+		vs := make([]record.Version, len(r.Versions))
+		for i, v := range r.Versions {
+			if svk, okV := record.StripPrefix(c.sess.tenant, v.Key); okV {
+				v.Key = svk
+			} else {
+				return fail(wire.CodeInternal, "query version outside session namespace")
+			}
+			vs[i] = v
+		}
+		r.Versions = vs
+		e.Uvarint(1) // "another row follows"
+		wire.EncodeRow(e, r)
+		count++
+		if e.Len() >= budget {
+			break
+		}
+	}
+	if done {
+		_ = cu.op.Close()
+		cu.op = nil
+	}
+	c.srv.curs.checkin(id, cu, nil, 0, done)
 	e.Uvarint(0) // end of batch
 	e.Bool(done)
 	return e.Bytes()

@@ -4,14 +4,23 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/query"
 	"repro/internal/record"
 )
 
 // cursorState is everything the server remembers about a client's open
 // range scan between fetches: bounds, snapshot, resume position, and
-// lease. No DB cursor, latch, or snapshot handle lives here — each
-// fetch re-opens and abandons a fresh engine cursor, so an idle or
-// abandoned client scan blocks nothing.
+// lease. For a plain range cursor no DB cursor, latch, or snapshot
+// handle lives here — each fetch re-opens and abandons a fresh engine
+// cursor, so an idle or abandoned client scan blocks nothing.
+//
+// A query cursor (op non-nil) additionally keeps its live operator
+// pipeline: a composed stream has no single resume key to re-seek
+// from. The operator contract makes that equally harmless — an idle
+// operator holds no latch — but it does pin heap (and, for a parallel
+// scan, parked goroutines), so every path that drops the table entry
+// must also Close the operator. Close runs outside the table mutex:
+// it may wait on goroutines that are mid-fill inside the engine.
 type cursorState struct {
 	sess      uint64
 	low       record.Key
@@ -21,12 +30,14 @@ type cursorState struct {
 	remaining int        // client Limit countdown; -1 = unlimited
 	reverse   bool
 	expires   time.Time
-	busy      bool // checked out by a fetch; janitor must not reap
+	busy      bool           // checked out by a fetch; janitor must not reap
+	op        query.Operator // live pipeline (query cursors only)
 }
 
 // cursorTable owns every open server-side cursor. Its mutex is a leaf,
 // held only for map bookkeeping — never across a DB call (fetches check
-// a cursor out, scan with no table lock held, and check it back in).
+// a cursor out, scan with no table lock held, and check it back in) and
+// never across an operator Close.
 type cursorTable struct {
 	mu        sync.Mutex //tsb:latch level=7 name=server-cursors
 	next      uint64
@@ -64,7 +75,8 @@ func (t *cursorTable) checkout(id, sess uint64, renewTo time.Time) (*cursorState
 
 // checkin returns the cursor after a fetch: done removes it, otherwise
 // the resume position advances (last non-nil only when the batch
-// yielded keys) and the limit countdown shrinks.
+// yielded keys) and the limit countdown shrinks. The caller owns
+// closing cu.op on done — it already holds the operator via checkout.
 func (t *cursorTable) checkin(id uint64, cu *cursorState, last record.Key, yielded int, done bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -84,23 +96,30 @@ func (t *cursorTable) checkin(id uint64, cu *cursorState, last record.Key, yield
 // remove closes a cursor if it exists and belongs to sess.
 func (t *cursorTable) remove(id, sess uint64) bool {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	cu, found := t.open[id]
 	if !found || cu.sess != sess {
+		t.mu.Unlock()
 		return false
 	}
 	delete(t.open, id)
+	t.mu.Unlock()
+	closeOp(cu)
 	return true
 }
 
 // removeSession reaps every cursor a closing session left behind.
 func (t *cursorTable) removeSession(sess uint64) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var dropped []*cursorState
 	for id, cu := range t.open {
 		if cu.sess == sess {
 			delete(t.open, id)
+			dropped = append(dropped, cu)
 		}
+	}
+	t.mu.Unlock()
+	for _, cu := range dropped {
+		closeOp(cu)
 	}
 }
 
@@ -109,12 +128,17 @@ func (t *cursorTable) removeSession(sess uint64) {
 // already renewed the lease.
 func (t *cursorTable) reapExpired(now time.Time) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var dropped []*cursorState
 	for id, cu := range t.open {
 		if !cu.busy && now.After(cu.expires) {
 			delete(t.open, id)
 			t.reclaimed++
+			dropped = append(dropped, cu)
 		}
+	}
+	t.mu.Unlock()
+	for _, cu := range dropped {
+		closeOp(cu)
 	}
 }
 
@@ -126,6 +150,22 @@ func (t *cursorTable) counts() (open int, reclaimed uint64) {
 
 func (t *cursorTable) clear() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var dropped []*cursorState
+	for _, cu := range t.open {
+		dropped = append(dropped, cu)
+	}
 	clear(t.open)
+	t.mu.Unlock()
+	for _, cu := range dropped {
+		closeOp(cu)
+	}
+}
+
+// closeOp releases a query cursor's pipeline; a no-op for plain range
+// cursors. Never called with the table mutex held.
+func closeOp(cu *cursorState) {
+	if cu.op != nil {
+		_ = cu.op.Close()
+		cu.op = nil
+	}
 }

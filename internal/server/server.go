@@ -173,13 +173,13 @@ type Server struct {
 	// break it down by op byte (index = wire op code), badHist catches
 	// frames whose op byte is outside the known range.
 	allHist obs.Histogram
-	opHists [wire.OpPing + 1]obs.Histogram
+	opHists [wire.OpQueryFetch + 1]obs.Histogram
 	badHist obs.Histogram
 }
 
 // opClassNames names each op byte for metrics labels and StatsReply,
 // indexed by wire op code (0 is unused).
-var opClassNames = [wire.OpPing + 1]string{
+var opClassNames = [wire.OpQueryFetch + 1]string{
 	wire.OpHello:       "hello",
 	wire.OpPut:         "put",
 	wire.OpGet:         "get",
@@ -191,6 +191,8 @@ var opClassNames = [wire.OpPing + 1]string{
 	wire.OpRefresh:     "refresh",
 	wire.OpStats:       "stats",
 	wire.OpPing:        "ping",
+	wire.OpOpenQuery:   "open_query",
+	wire.OpQueryFetch:  "query_fetch",
 }
 
 // opHistFor routes an executed request payload to its op-class
@@ -200,7 +202,7 @@ func (s *Server) opHistFor(payload []byte) *obs.Histogram {
 		return &s.badHist
 	}
 	op := payload[0]
-	if op >= wire.OpHello && op <= wire.OpPing {
+	if op >= wire.OpHello && op <= wire.OpQueryFetch {
 		return &s.opHists[op]
 	}
 	return &s.badHist
@@ -228,7 +230,7 @@ func (s *Server) RegisterMetrics(r *obs.Registry) {
 	})
 	r.RegisterHistogram("tsb_server_op_seconds", "request execution latency",
 		&s.allHist, obs.Label{Key: "op", Value: "all"})
-	for op := int(wire.OpHello); op <= int(wire.OpPing); op++ {
+	for op := int(wire.OpHello); op <= int(wire.OpQueryFetch); op++ {
 		r.RegisterHistogram("tsb_server_op_seconds", "request execution latency",
 			&s.opHists[op], obs.Label{Key: "op", Value: opClassNames[op]})
 	}
@@ -377,7 +379,7 @@ func (s *Server) Stats() Stats {
 		P99Micros:        s.allHist.Percentile(0.99),
 		Draining:         draining,
 	}
-	for op := int(wire.OpHello); op <= int(wire.OpPing); op++ {
+	for op := int(wire.OpHello); op <= int(wire.OpQueryFetch); op++ {
 		st.PerOp = appendOpClass(st.PerOp, opClassNames[op], &s.opHists[op])
 	}
 	st.PerOp = appendOpClass(st.PerOp, "other", &s.badHist)

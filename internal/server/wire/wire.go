@@ -47,6 +47,8 @@ const (
 	OpRefresh
 	OpStats
 	OpPing
+	OpOpenQuery  // query.go: open a composed-operator query cursor
+	OpQueryFetch // query.go: fetch one row batch from it
 )
 
 // Response status codes. StatusOK precedes reply fields; every other

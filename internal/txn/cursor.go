@@ -59,6 +59,17 @@ type PartedStore interface {
 	ScanRangePart(part int, low record.Key, high record.Bound, from, to record.Timestamp) ([]record.Version, error)
 }
 
+// WindowCursorStore is the streaming extension of the temporal range
+// query: one key-paged, latch-scoped batch of ScanRange per call, with
+// the ScanPageAsOf resume contract (NextLow/More). A forward window
+// cursor over a WindowCursorStore streams page by page — the time-window
+// pushdown — instead of materializing whole shard parts; stores without
+// it (and reverse window scans) keep the parted path. *core.Tree and the
+// db layer's shard router implement it.
+type WindowCursorStore interface {
+	ScanRangePage(low record.Key, high record.Bound, from, to record.Timestamp) (core.Page, error)
+}
+
 // Cursor is a lazy, resumable read: versions stream in key order (or in
 // (key, time) order in window mode) as Next is called, instead of
 // arriving as one materialized slice.
@@ -80,8 +91,11 @@ type Cursor struct {
 	high  record.Bound
 	opts  ScanOptions
 
-	// window-mode progress: parts remaining, next part to fetch.
+	// window-mode progress: parts remaining, next part to fetch. When
+	// paged is set the cursor streams ScanRangePage batches through the
+	// (low, high) window instead of counting parts.
 	window bool
+	paged  bool
 	part   int
 	parts  int
 
@@ -106,9 +120,13 @@ func newCursor(store Store, at record.Timestamp, low record.Key, high record.Bou
 			return c
 		}
 		c.window = true
-		c.parts = 1
-		if ps, ok := store.(PartedStore); ok {
-			c.parts = ps.RangeParts(c.low, c.high)
+		if _, ok := store.(WindowCursorStore); ok && !opts.Reverse {
+			c.paged = true
+		} else {
+			c.parts = 1
+			if ps, ok := store.(PartedStore); ok {
+				c.parts = ps.RangeParts(c.low, c.high)
+			}
 		}
 		if opts.To <= opts.From {
 			c.done = true // empty time window, like ScanRange
@@ -201,9 +219,19 @@ func (c *Cursor) fill() error {
 	return nil
 }
 
-// fillWindow fetches the next part of a temporal range query (parts run
-// back to front when reversing).
+// fillWindow fetches the next latch-scoped batch of a temporal range
+// query: one key page (forward scans over a WindowCursorStore) or one
+// part (parts run back to front when reversing).
 func (c *Cursor) fillWindow() error {
+	if c.paged {
+		p, err := c.store.(WindowCursorStore).ScanRangePage(c.low, c.high, c.opts.From, c.opts.To)
+		if err != nil {
+			return err
+		}
+		c.buf, c.pos = p.Versions, 0
+		c.low, c.high, c.done = p.Advance(c.low, c.high, false)
+		return nil
+	}
 	if c.part >= c.parts {
 		c.done = true
 		return nil
@@ -271,4 +299,7 @@ func (c *Cursor) Collect() ([]record.Version, error) {
 	return out, nil
 }
 
-var _ CursorStore = (*core.Tree)(nil)
+var (
+	_ CursorStore       = (*core.Tree)(nil)
+	_ WindowCursorStore = (*core.Tree)(nil)
+)
